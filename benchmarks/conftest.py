@@ -1,0 +1,21 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at the
+"smoke" scale (single round — these are minutes-long simulations, not
+microbenchmarks), asserts the result's qualitative shape, and prints
+the same rows/series the paper reports (run with ``-s`` to see them).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

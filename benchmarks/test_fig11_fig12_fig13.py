@@ -1,0 +1,47 @@
+"""Benches for the headline latency results: Fig 11, Fig 12, Fig 13."""
+
+from repro.experiments import fig11_latency, fig12_loads, fig13_ablation
+
+
+def test_fig11_latency(run_once):
+    result = run_once(fig11_latency.run, scale="quick")
+    print("\n" + result["table"])
+    results = result["results"]
+    accelflow = results["accelflow"].mean_p99_ns()
+    # The paper's ordering: AccelFlow shortest tail; Non-acc longest.
+    assert accelflow < results["relief"].mean_p99_ns()
+    assert accelflow < results["cohort"].mean_p99_ns()
+    assert accelflow < results["cpu-centric"].mean_p99_ns()
+    assert results["non-acc"].mean_p99_ns() == max(
+        r.mean_p99_ns() for r in results.values()
+    )
+    # Large reductions vs the software baseline (paper: 90.7%).
+    assert result["reductions"]["non-acc"]["p99"] > 40.0
+    # Mean latency follows the same trend (paper Fig 11 stars).
+    assert results["accelflow"].mean_latency_ns() < results[
+        "relief"
+    ].mean_latency_ns()
+
+
+def test_fig12_load_sweep(run_once):
+    result = run_once(
+        fig12_loads.run, scale="smoke", include_extra_suites=False
+    )
+    print("\n" + result["table"])
+    p99 = result["p99_ns"]
+    for load in [5000.0, 10000.0, 15000.0]:
+        assert p99["accelflow"][load] < p99["relief"][load]
+        assert p99["accelflow"][load] < p99["non-acc"][load]
+    # Tails grow with load for the software baseline.
+    assert p99["non-acc"][15000.0] > p99["non-acc"][5000.0]
+
+
+def test_fig13_ablation_ladder(run_once):
+    result = run_once(fig13_ablation.run, scale="quick")
+    print("\n" + result["table"])
+    p99 = result["p99_ns"]
+    # Every added technique helps; full AccelFlow is the best rung
+    # (paper: cumulative -6.8/-32.7/-55.1/-68.7%).
+    assert p99["accelflow"] < p99["cntrflow"] <= p99["relief"]
+    assert p99["direct"] < p99["per-acc-type-q"] <= p99["relief"] * 1.05
+    assert result["reductions"]["accelflow"] > 15.0

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Compare the five orchestration architectures on one workload.
+
+Runs the SocialNetwork services under a production-like (bursty) load
+on each architecture — Non-acc, CPU-Centric, RELIEF, Cohort, AccelFlow
+— and prints per-service P99 plus AccelFlow's reductions, i.e. a small
+version of the paper's Figure 11.
+
+Run: ``python examples/compare_orchestrators.py [requests_per_service]``
+"""
+
+import sys
+
+from repro.server import RunConfig, run_experiment
+from repro.workloads import social_network_services
+
+ARCHITECTURES = ["non-acc", "cpu-centric", "relief", "cohort", "accelflow"]
+
+
+def main():
+    requests = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    services = social_network_services()
+    print(f"Running {requests} requests/service on {len(ARCHITECTURES)} "
+          "architectures (this takes a minute)...\n")
+
+    results = {}
+    for arch in ARCHITECTURES:
+        config = RunConfig(
+            architecture=arch,
+            requests_per_service=requests,
+            arrival_mode="alibaba",
+        )
+        results[arch] = run_experiment(services, config)
+        print(f"  {arch:<12s} mean-P99 "
+              f"{results[arch].mean_p99_ns() / 1000:9.1f} us   "
+              f"mean-avg {results[arch].mean_latency_ns() / 1000:8.1f} us")
+
+    print(f"\n{'Service':<8s}" + "".join(f"{a:>13s}" for a in ARCHITECTURES))
+    for spec in services:
+        row = f"{spec.name:<8s}"
+        for arch in ARCHITECTURES:
+            row += f"{results[arch].p99_ns(spec.name) / 1000:13.1f}"
+        print(row + "   (P99, us)")
+
+    accelflow = results["accelflow"]
+    print("\nAccelFlow reductions (paper: P99 -90.7/-81.2/-68.8/-70.1%):")
+    for arch in ARCHITECTURES[:-1]:
+        p99 = 100 * (1 - accelflow.mean_p99_ns() / results[arch].mean_p99_ns())
+        avg = 100 * (1 - accelflow.mean_latency_ns()
+                     / results[arch].mean_latency_ns())
+        print(f"  vs {arch:<12s}: P99 -{p99:5.1f}%   avg -{avg:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

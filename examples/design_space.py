@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Explore AccelFlow design points with the A/B comparison tool.
+
+A downstream architect asks: for my workload, how much do PE count,
+chiplet organization and the queue policy matter? This example sweeps
+those axes with :func:`repro.analysis.compare_configs` and prints a
+ranked comparison — the same methodology as the paper's Section VII.C,
+applied to a custom design space.
+
+Run: ``python examples/design_space.py``
+"""
+
+from repro.analysis.compare import Candidate, compare_configs
+from repro.hw import MachineParams, QueuePolicy
+from repro.server import RunConfig
+from repro.workloads import social_network_services
+
+
+def main():
+    services = [
+        s for s in social_network_services() if s.name in ("ReadH", "StoreP", "Login")
+    ]
+
+    def config(**kwargs):
+        defaults = dict(
+            architecture="accelflow",
+            requests_per_service=200,
+            arrival_mode="alibaba",
+            rate_scale=1.5,
+        )
+        defaults.update(kwargs)
+        return RunConfig(**defaults)
+
+    candidates = [
+        Candidate("baseline-8pe-2chip", config()),
+        Candidate(
+            "budget-4pe", config(machine_params=MachineParams().with_pes(4))
+        ),
+        Candidate(
+            "spread-6chiplets",
+            config(machine_params=MachineParams().with_layout(6)),
+        ),
+        Candidate(
+            "fast-accels-2x",
+            config(machine_params=MachineParams().with_speedup_scale(2.0)),
+        ),
+        Candidate(
+            "dual-instance",
+            config(machine_params=MachineParams().with_instances(2)),
+        ),
+        Candidate("adaptive", config(architecture="accelflow-adaptive")),
+    ]
+
+    print(f"Comparing {len(candidates)} design points on "
+          f"{', '.join(s.name for s in services)} at 1.5x production load...\n")
+    comparison = compare_configs(services, candidates,
+                                 baseline="baseline-8pe-2chip")
+    print(comparison.table())
+    print(f"\nBest design point: {comparison.winner()}")
+
+
+if __name__ == "__main__":
+    main()

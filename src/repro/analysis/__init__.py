@@ -1,0 +1,14 @@
+"""Result presentation: ASCII charts and the paper-vs-measured report."""
+
+from .ascii_chart import bar_chart, series_chart
+from .compare import Candidate, ComparisonResult, compare_configs
+from .report import generate_report
+
+__all__ = [
+    "Candidate",
+    "ComparisonResult",
+    "bar_chart",
+    "compare_configs",
+    "generate_report",
+    "series_chart",
+]

@@ -1,0 +1,87 @@
+"""Terminal-friendly charts for experiment output.
+
+The paper's figures are bar charts and line series; these helpers
+render the same data as fixed-width text so every experiment can show
+its "figure" directly in a terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["bar_chart", "series_chart"]
+
+_BAR = "#"
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one labelled bar per entry."""
+    if not values:
+        return title
+    peak = max(values.values())
+    label_width = max(len(str(label)) for label in values)
+    lines: List[str] = [title] if title else []
+    for label, value in values.items():
+        bar_len = 0 if peak <= 0 else int(round(width * value / peak))
+        lines.append(
+            f"{str(label).ljust(label_width)} |{_BAR * bar_len:<{width}}| "
+            f"{value:,.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Sequence[str],
+    title: str = "",
+    height: int = 12,
+    unit: str = "",
+) -> str:
+    """Plot one or more series as aligned columns of markers.
+
+    Each series gets a distinct marker; rows run from the maximum value
+    down to zero. Crude, but it shows crossovers and growth shapes.
+    """
+    if not series:
+        return title
+    markers = "ox+*@%&="
+    names = list(series)
+    length = len(x_labels)
+    for name in names:
+        if len(series[name]) != length:
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {length}"
+            )
+    peak = max(max(points) for points in series.values())
+    if peak <= 0:
+        peak = 1.0
+    col_width = max(max(len(x) for x in x_labels) + 2, 6)
+    grid: List[List[str]] = [
+        [" " for _ in range(length)] for _ in range(height)
+    ]
+    for index, name in enumerate(names):
+        marker = markers[index % len(markers)]
+        for col, value in enumerate(series[name]):
+            row = height - 1 - int(round((height - 1) * value / peak))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+            else:
+                grid[row][col] = "!"  # collision
+    lines: List[str] = [title] if title else []
+    for row_index, row in enumerate(grid):
+        level = peak * (height - 1 - row_index) / (height - 1)
+        cells = "".join(cell.center(col_width) for cell in row)
+        lines.append(f"{level:10,.0f}{unit} |{cells}")
+    lines.append(" " * 12 + "+" + "-" * (col_width * length))
+    lines.append(" " * 13 + "".join(x.center(col_width) for x in x_labels))
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"{'':13}{legend}")
+    return "\n".join(lines)

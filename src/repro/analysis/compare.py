@@ -1,0 +1,92 @@
+"""A/B comparison of server configurations.
+
+The library's sensitivity studies all follow one pattern — run the same
+workload under two (or more) configurations, compare latency and
+throughput. :func:`compare_configs` packages that pattern for
+downstream users exploring their own design points (PE counts, chiplet
+layouts, queue policies, orchestrators, speedup scaling, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..server import RunConfig, run_experiment
+from ..server.metrics import ExperimentResult
+from ..workloads.spec import ServiceSpec
+from .ascii_chart import bar_chart
+
+__all__ = ["Candidate", "ComparisonResult", "compare_configs"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One named configuration under comparison."""
+
+    name: str
+    config: RunConfig
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of an A/B (or A/B/C/...) comparison."""
+
+    candidates: List[str]
+    results: Dict[str, ExperimentResult]
+    baseline: str
+
+    def p99_ns(self, candidate: str) -> float:
+        return self.results[candidate].mean_p99_ns()
+
+    def mean_ns(self, candidate: str) -> float:
+        return self.results[candidate].mean_latency_ns()
+
+    def p99_speedup(self, candidate: str) -> float:
+        """Baseline P99 / candidate P99 (>1 means candidate is better)."""
+        return self.p99_ns(self.baseline) / self.p99_ns(candidate)
+
+    def winner(self) -> str:
+        """Candidate with the lowest mean P99."""
+        return min(self.candidates, key=self.p99_ns)
+
+    def table(self) -> str:
+        header = f"{'Candidate':<20s}{'mean (us)':>12s}{'P99 (us)':>12s}{'vs ' + self.baseline:>14s}"
+        lines = [header, "-" * len(header)]
+        for name in self.candidates:
+            speedup = self.p99_speedup(name)
+            lines.append(
+                f"{name:<20s}{self.mean_ns(name) / 1000:>12.1f}"
+                f"{self.p99_ns(name) / 1000:>12.1f}{speedup:>13.2f}x"
+            )
+        chart = bar_chart(
+            {name: self.p99_ns(name) / 1000 for name in self.candidates},
+            title="mean P99 (us)",
+            unit=" us",
+        )
+        return "\n".join(lines) + "\n\n" + chart
+
+
+def compare_configs(
+    services: Sequence[ServiceSpec],
+    candidates: Sequence[Candidate],
+    baseline: Optional[str] = None,
+) -> ComparisonResult:
+    """Run ``services`` under each candidate configuration and compare.
+
+    ``baseline`` names the candidate speedups are computed against
+    (defaults to the first one).
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate")
+    names = [c.name for c in candidates]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate candidate names: {names}")
+    baseline = baseline or names[0]
+    if baseline not in names:
+        raise ValueError(f"baseline {baseline!r} is not a candidate")
+    results = {
+        candidate.name: run_experiment(list(services), candidate.config)
+        for candidate in candidates
+    }
+    return ComparisonResult(candidates=names, results=results, baseline=baseline)

@@ -1,0 +1,105 @@
+"""The AccelFlow trace abstraction: the paper's primary contribution."""
+
+from .compiler import (
+    CompileError,
+    CompiledProgram,
+    Convert,
+    Fork,
+    IfField,
+    Offload,
+    SendReceive,
+    TraceCompiler,
+)
+from .builder import as_node, as_nodes, atm_link, branch, notify, parallel, seq, trans
+from .encoding import (
+    MAX_TRACE_BYTES,
+    EncodingError,
+    TraceNameTable,
+    decode_trace,
+    encode_trace,
+    encoded_nibbles,
+    fits,
+    split_trace,
+)
+from .dte import DataTransformEngine, FlatDocument, TransformError
+from .glue import GlueCostModel
+from .nodes import (
+    CONDITIONS,
+    AccelStep,
+    AtmLinkNode,
+    BranchCondition,
+    BranchNode,
+    DataFormat,
+    NotifyNode,
+    ParallelNode,
+    TraceNode,
+    TraceValidationError,
+    TransformNode,
+)
+from .registry import TraceError, TraceRegistry
+from .render import render_ascii, render_dot
+from .slo import DeadlineAssigner, SloTracker
+from .templates import (
+    T_ERR,
+    TEMPLATE_DESCRIPTIONS,
+    error_trace,
+    standard_trace_set,
+)
+from .tenancy import TenantManager
+from .trace import ResolvedPath, ResolvedStep, Trace
+
+__all__ = [
+    "AccelStep",
+    "AtmLinkNode",
+    "BranchCondition",
+    "BranchNode",
+    "CONDITIONS",
+    "CompileError",
+    "CompiledProgram",
+    "Convert",
+    "Fork",
+    "IfField",
+    "Offload",
+    "SendReceive",
+    "TraceCompiler",
+    "DataFormat",
+    "DataTransformEngine",
+    "FlatDocument",
+    "TransformError",
+    "DeadlineAssigner",
+    "EncodingError",
+    "GlueCostModel",
+    "MAX_TRACE_BYTES",
+    "NotifyNode",
+    "ParallelNode",
+    "ResolvedPath",
+    "ResolvedStep",
+    "SloTracker",
+    "T_ERR",
+    "TEMPLATE_DESCRIPTIONS",
+    "TenantManager",
+    "Trace",
+    "TraceError",
+    "TraceNameTable",
+    "TraceNode",
+    "TraceRegistry",
+    "TraceValidationError",
+    "TransformNode",
+    "as_node",
+    "as_nodes",
+    "atm_link",
+    "branch",
+    "decode_trace",
+    "encode_trace",
+    "encoded_nibbles",
+    "error_trace",
+    "fits",
+    "notify",
+    "parallel",
+    "seq",
+    "split_trace",
+    "standard_trace_set",
+    "trans",
+    "render_ascii",
+    "render_dot",
+]

@@ -1,0 +1,125 @@
+"""The AccelFlow programming API (Section V.4, Listing 1).
+
+Programmers construct traces with three combinators::
+
+    trace = seq("TCP", "Decr", "RPC", "Dser",
+                branch("compressed",
+                       on_true=[trans("json", "string"), "Dcmp"],
+                       on_false=[]),
+                "LdB",
+                name="func_req")
+
+* :func:`seq` defines a linear chain of accelerators (and nested nodes),
+* :func:`branch` adds conditional control flow on the previous
+  accelerator's output,
+* :func:`trans` transforms the data format between two representations.
+
+Accelerators may be given as :class:`AcceleratorKind` values or their
+string names ("TCP", "Decr", ...). :func:`atm_link` and :func:`notify`
+build trace tails explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+from ..hw.params import AcceleratorKind
+from .nodes import (
+    AccelStep,
+    AtmLinkNode,
+    BranchCondition,
+    BranchNode,
+    DataFormat,
+    NotifyNode,
+    ParallelNode,
+    TraceNode,
+    TraceValidationError,
+    TransformNode,
+)
+from .trace import Trace
+
+__all__ = [
+    "seq",
+    "branch",
+    "trans",
+    "parallel",
+    "atm_link",
+    "notify",
+    "as_node",
+    "as_nodes",
+]
+
+_KIND_BY_NAME = {kind.value.lower(): kind for kind in AcceleratorKind}
+
+NodeSpec = Union[TraceNode, AcceleratorKind, str]
+
+
+def _lookup_kind(name: str) -> AcceleratorKind:
+    try:
+        return _KIND_BY_NAME[name.lower()]
+    except KeyError:
+        raise TraceValidationError(
+            f"unknown accelerator {name!r}; known: "
+            f"{sorted(k.value for k in AcceleratorKind)}"
+        ) from None
+
+
+def _lookup_format(fmt: Union[DataFormat, str]) -> DataFormat:
+    if isinstance(fmt, DataFormat):
+        return fmt
+    try:
+        return DataFormat(fmt.lower())
+    except ValueError:
+        raise TraceValidationError(
+            f"unknown data format {fmt!r}; known: "
+            f"{sorted(f.value for f in DataFormat)}"
+        ) from None
+
+
+def as_node(spec: NodeSpec) -> TraceNode:
+    """Coerce a node spec (node | kind | name) into a trace node."""
+    if isinstance(spec, TraceNode):
+        return spec
+    if isinstance(spec, AcceleratorKind):
+        return AccelStep(spec)
+    if isinstance(spec, str):
+        return AccelStep(_lookup_kind(spec))
+    raise TraceValidationError(f"cannot interpret {spec!r} as a trace node")
+
+
+def as_nodes(specs: Iterable[NodeSpec]) -> List[TraceNode]:
+    return [as_node(spec) for spec in specs]
+
+
+def seq(*specs: NodeSpec, name: str = "trace") -> Trace:
+    """Define a trace as a linear chain of accelerators and nodes."""
+    return Trace(name, as_nodes(specs))
+
+
+def branch(
+    condition: Union[BranchCondition, str],
+    on_true: Sequence[NodeSpec],
+    on_false: Sequence[NodeSpec] = (),
+) -> BranchNode:
+    """Conditional control flow on the previous accelerator's output."""
+    return BranchNode(condition, as_nodes(on_true), as_nodes(on_false))
+
+
+def trans(src: Union[DataFormat, str], dst: Union[DataFormat, str]) -> TransformNode:
+    """Transform the payload between two data formats."""
+    return TransformNode(_lookup_format(src), _lookup_format(dst))
+
+
+def parallel(*arms: Sequence[NodeSpec]) -> ParallelNode:
+    """Fork into concurrently executing arms (terminal node)."""
+    return ParallelNode([as_nodes(arm) for arm in arms])
+
+
+def atm_link(next_trace: str) -> AtmLinkNode:
+    """Tail link: continue with the named trace stored in the ATM."""
+    return AtmLinkNode(next_trace)
+
+
+def notify(error: bool = False) -> NotifyNode:
+    """Explicit tail: store results and notify the initiating core."""
+    return NotifyNode(error=error)

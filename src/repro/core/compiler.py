@@ -1,0 +1,263 @@
+"""Automated trace synthesis (the paper's Section IX future work).
+
+The paper's programmers hand-write traces from templates or the
+builder API; "automating trace generation via compiler and runtime
+infrastructures" is left as future work. This module implements that
+compiler for a small annotated IR:
+
+* ``Offload(kind)`` — a code section annotated to run on an accelerator.
+* ``IfField(condition, then, orelse, rare=...)`` — control flow on a
+  payload field; ``rare`` marks the arm as infrequently executed.
+* ``Convert(src, dst)`` — a data-format change between sections.
+* ``SendReceive(request, response)`` — an annotated network round trip:
+  the request suffix and response prefix become two ATM-linked traces.
+* ``Fork(arms)`` — annotated independent continuations.
+
+``TraceCompiler.compile`` lowers a program to a set of named traces:
+
+1. network round trips split the program (the request trace gets an ATM
+   tail pointing at the response trace, Section IV-B),
+2. rare arms are *extracted into their own traces* reached through the
+   ATM, so the common-case trace stays small on the wire (the paper
+   does exactly this for the error arms of T6/T7/T10),
+3. anything exceeding the 16-accelerator-slot budget is split into
+   ATM-chained subtraces,
+4. the result registers into a :class:`TraceRegistry` and is validated
+   closed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..hw.params import AcceleratorKind
+from .builder import as_node
+from .encoding import fits, split_trace
+from .nodes import (
+    AccelStep,
+    AtmLinkNode,
+    BranchCondition,
+    BranchNode,
+    DataFormat,
+    NotifyNode,
+    ParallelNode,
+    TraceNode,
+    TraceValidationError,
+    TransformNode,
+)
+from .registry import TraceRegistry
+from .trace import Trace
+
+__all__ = [
+    "Offload",
+    "IfField",
+    "Convert",
+    "SendReceive",
+    "Fork",
+    "CompileError",
+    "TraceCompiler",
+    "CompiledProgram",
+]
+
+
+class CompileError(Exception):
+    """The annotated program cannot be lowered to traces."""
+
+
+@dataclass(frozen=True)
+class Offload:
+    """A code section annotated to run on the given accelerator."""
+
+    kind: Union[AcceleratorKind, str]
+
+
+@dataclass(frozen=True)
+class Convert:
+    """An annotated data-format change."""
+
+    src: Union[DataFormat, str]
+    dst: Union[DataFormat, str]
+
+
+@dataclass(frozen=True)
+class IfField:
+    """Conditional control flow on a payload field.
+
+    ``rare`` marks an arm as infrequently executed ("exceptions or
+    errors", Section IV-A): the compiler moves it into its own trace so
+    the common case never carries its bytes.
+    """
+
+    condition: Union[BranchCondition, str]
+    then: Tuple = ()
+    orelse: Tuple = ()
+    rare: Optional[str] = None  # None | "then" | "orelse"
+
+    def __post_init__(self):
+        if self.rare not in (None, "then", "orelse"):
+            raise CompileError(f"rare must be 'then' or 'orelse', got {self.rare!r}")
+
+
+@dataclass(frozen=True)
+class SendReceive:
+    """A network round trip: request suffix, then the response program."""
+
+    request: Tuple
+    response: Tuple
+
+
+@dataclass(frozen=True)
+class Fork:
+    """Independent continuations executed concurrently."""
+
+    arms: Tuple[Tuple, ...]
+
+
+Program = Sequence
+
+
+@dataclass
+class CompiledProgram:
+    """Output of the compiler: the entry trace plus all helpers."""
+
+    entry: str
+    traces: Dict[str, Trace] = field(default_factory=dict)
+
+    def register_into(self, registry: TraceRegistry) -> None:
+        for name, trace in self.traces.items():
+            registry.register(trace, name=name)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+
+class TraceCompiler:
+    """Lowers annotated programs to ATM-linked trace sets."""
+
+    def __init__(self, name_prefix: str):
+        if not name_prefix:
+            raise CompileError("compiler needs a non-empty name prefix")
+        self.prefix = name_prefix
+        self._counter = 0
+
+    # -- public ---------------------------------------------------------
+    def compile(self, program: Program) -> CompiledProgram:
+        """Compile ``program`` into a closed set of traces."""
+        result = CompiledProgram(entry=self.prefix)
+        self._counter = 0
+        self._lower_segment(list(program), self.prefix, result)
+        for name, trace in list(result.traces.items()):
+            if not fits(trace):
+                self._split(name, trace, result)
+        self._validate(result)
+        return result
+
+    # -- lowering ---------------------------------------------------------
+    def _fresh_name(self, hint: str) -> str:
+        self._counter += 1
+        return f"{self.prefix}.{hint}{self._counter}"
+
+    def _lower_segment(
+        self, items: List, name: str, result: CompiledProgram
+    ) -> None:
+        """Lower one CPU-uninterrupted segment into a trace."""
+        nodes = self._lower_items(items, result)
+        if not nodes:
+            raise CompileError(f"segment {name!r} contains no operations")
+        if not isinstance(nodes[0], AccelStep):
+            raise CompileError(
+                f"segment {name!r} must start with an offloaded section "
+                "(conversions and conditionals need a preceding accelerator)"
+            )
+        result.traces[name] = Trace(name, nodes)
+
+    def _lower_items(self, items: List, result: CompiledProgram) -> List[TraceNode]:
+        nodes: List[TraceNode] = []
+        index = 0
+        while index < len(items):
+            item = items[index]
+            rest = items[index + 1:]
+            if isinstance(item, Offload):
+                nodes.append(as_node(item.kind))
+            elif isinstance(item, Convert):
+                nodes.append(TransformNode(
+                    self._format(item.src), self._format(item.dst)
+                ))
+            elif isinstance(item, IfField):
+                nodes.append(self._lower_if(item, result))
+            elif isinstance(item, SendReceive):
+                if rest:
+                    raise CompileError(
+                        "a network round trip must end its segment (the "
+                        "response continues in a new trace)"
+                    )
+                request_nodes = self._lower_items(list(item.request), result)
+                response_name = self._fresh_name("recv")
+                self._lower_segment(list(item.response), response_name, result)
+                nodes.extend(request_nodes)
+                nodes.append(AtmLinkNode(response_name))
+            elif isinstance(item, Fork):
+                if rest:
+                    raise CompileError("a fork must be the last item of a segment")
+                nodes.append(self._lower_fork(item, result))
+            else:
+                raise CompileError(f"unknown program item {item!r}")
+            index += 1
+        return nodes
+
+    def _lower_if(self, item: IfField, result: CompiledProgram) -> BranchNode:
+        then_items = list(item.then)
+        orelse_items = list(item.orelse)
+        if item.rare == "then":
+            then_nodes = [self._extract_rare(then_items, result)]
+            orelse_nodes = self._lower_items(orelse_items, result)
+        elif item.rare == "orelse":
+            then_nodes = self._lower_items(then_items, result)
+            orelse_nodes = [self._extract_rare(orelse_items, result)]
+        else:
+            then_nodes = self._lower_items(then_items, result)
+            orelse_nodes = self._lower_items(orelse_items, result)
+        return BranchNode(item.condition, then_nodes, orelse_nodes)
+
+    def _extract_rare(self, items: List, result: CompiledProgram) -> AtmLinkNode:
+        """Move a rare arm into its own ATM-reached trace (Section IV-B)."""
+        if not items:
+            raise CompileError("a rare arm cannot be empty")
+        rare_name = self._fresh_name("rare")
+        self._lower_segment(items, rare_name, result)
+        return AtmLinkNode(rare_name)
+
+    def _lower_fork(self, item: Fork, result: CompiledProgram) -> ParallelNode:
+        arms = []
+        for arm_items in item.arms:
+            arms.append(self._lower_items(list(arm_items), result))
+        return ParallelNode(arms)
+
+    # -- post-passes ------------------------------------------------------
+    def _split(self, name: str, trace: Trace, result: CompiledProgram) -> None:
+        """Split an over-budget trace into ATM-chained subtraces."""
+        del result.traces[name]
+        for sub in split_trace(trace):
+            result.traces[sub.name] = sub
+
+    def _validate(self, result: CompiledProgram) -> None:
+        registry = TraceRegistry()
+        for name, trace in result.traces.items():
+            registry.register(trace, name=name)
+        try:
+            registry.validate_closed()
+        except Exception as err:  # surface as a compile error
+            raise CompileError(f"compiled trace set is not closed: {err}") from err
+        for name, trace in result.traces.items():
+            if not fits(trace):
+                raise CompileError(f"compiled trace {name!r} exceeds the budget")
+
+    @staticmethod
+    def _format(fmt: Union[DataFormat, str]) -> DataFormat:
+        if isinstance(fmt, DataFormat):
+            return fmt
+        try:
+            return DataFormat(fmt.lower())
+        except ValueError:
+            raise CompileError(f"unknown data format {fmt!r}") from None

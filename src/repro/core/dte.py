@@ -1,0 +1,309 @@
+"""The Data Transform Engine (DTE): a working format converter.
+
+The output dispatcher's DTE (Section V.2, Figure 10) converts payloads
+between simple representations — string, JSON, BSON and a protobuf-like
+wire form — and is "a simplified form of a (De)Ser accelerator, without
+the support for nested messages or custom data types". This module
+implements those conversions functionally so that examples and tests
+can push real payloads through a trace's transformation steps; the
+*timing* of a transformation in the simulator comes from
+:class:`repro.core.glue.GlueCostModel`.
+
+Canonical in-memory form: a flat ``dict`` mapping string keys to
+str/int/float/bool/bytes values (the "app-object" format).
+
+Wire formats:
+
+* ``string`` — ``key=value`` lines with a one-letter type prefix.
+* ``json`` — standard JSON (bytes values base64-encoded with a marker).
+* ``bson`` — a faithful subset of BSON: int32 document length, typed
+  elements (0x01 double, 0x02 string, 0x05 binary, 0x08 bool,
+  0x12 int64), NUL terminator.
+* ``protobuf`` — tag-length-value with varint keys/lengths.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from typing import Any, Dict, Union
+
+from .nodes import DataFormat
+
+__all__ = ["DataTransformEngine", "TransformError", "FlatDocument"]
+
+FlatDocument = Dict[str, Union[str, int, float, bool, bytes]]
+
+_ALLOWED_TYPES = (str, int, float, bool, bytes)
+
+
+class TransformError(Exception):
+    """Payload cannot be handled by the simplified DTE."""
+
+
+def _validate_flat(document: Any) -> FlatDocument:
+    if not isinstance(document, dict):
+        raise TransformError(f"expected a flat document, got {type(document).__name__}")
+    for key, value in document.items():
+        if not isinstance(key, str):
+            raise TransformError(f"non-string key {key!r}")
+        if isinstance(value, (dict, list, tuple)):
+            raise TransformError(
+                f"field {key!r}: nested messages are not supported by the DTE"
+            )
+        if not isinstance(value, _ALLOWED_TYPES):
+            raise TransformError(
+                f"field {key!r}: custom data type {type(value).__name__}"
+            )
+    return document
+
+
+class DataTransformEngine:
+    """Converts flat documents between the supported wire formats."""
+
+    # ------------------------------------------------------------------
+    # string: "t:key=value" lines
+    # ------------------------------------------------------------------
+    _STRING_PREFIXES = {"s": str, "i": int, "f": float, "b": bool, "x": bytes}
+
+    def to_string(self, document: FlatDocument) -> str:
+        _validate_flat(document)
+        lines = []
+        for key, value in sorted(document.items()):
+            if "=" in key or "\n" in key:
+                raise TransformError(f"key {key!r} not representable as string")
+            if isinstance(value, bool):  # bool before int: bool is an int
+                lines.append(f"b:{key}={'1' if value else '0'}")
+            elif isinstance(value, int):
+                lines.append(f"i:{key}={value}")
+            elif isinstance(value, float):
+                lines.append(f"f:{key}={value!r}")
+            elif isinstance(value, bytes):
+                lines.append(f"x:{key}={base64.b64encode(value).decode()}")
+            else:
+                if "\n" in value:
+                    raise TransformError(f"field {key!r}: multi-line string")
+                lines.append(f"s:{key}={value}")
+        return "\n".join(lines)
+
+    def from_string(self, text: str) -> FlatDocument:
+        document: FlatDocument = {}
+        if not text:
+            return document
+        for line in text.split("\n"):
+            try:
+                prefix, rest = line.split(":", 1)
+                key, raw = rest.split("=", 1)
+            except ValueError:
+                raise TransformError(f"malformed string line {line!r}") from None
+            kind = self._STRING_PREFIXES.get(prefix)
+            if kind is None:
+                raise TransformError(f"unknown type prefix {prefix!r}")
+            if kind is bool:
+                document[key] = raw == "1"
+            elif kind is bytes:
+                document[key] = base64.b64decode(raw)
+            else:
+                document[key] = kind(raw)
+        return document
+
+    # ------------------------------------------------------------------
+    # json
+    # ------------------------------------------------------------------
+    _BYTES_MARKER = "$b64$"
+
+    def to_json(self, document: FlatDocument) -> str:
+        _validate_flat(document)
+        encodable = {
+            key: (self._BYTES_MARKER + base64.b64encode(value).decode()
+                  if isinstance(value, bytes) else value)
+            for key, value in document.items()
+        }
+        return json.dumps(encodable, sort_keys=True)
+
+    def from_json(self, text: str) -> FlatDocument:
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise TransformError(f"bad JSON: {err}") from None
+        document: FlatDocument = {}
+        _validate_flat(raw)
+        for key, value in raw.items():
+            if isinstance(value, str) and value.startswith(self._BYTES_MARKER):
+                document[key] = base64.b64decode(value[len(self._BYTES_MARKER):])
+            else:
+                document[key] = value
+        return document
+
+    # ------------------------------------------------------------------
+    # bson (subset)
+    # ------------------------------------------------------------------
+    def to_bson(self, document: FlatDocument) -> bytes:
+        _validate_flat(document)
+        body = b""
+        for key, value in sorted(document.items()):
+            cname = key.encode() + b"\x00"
+            if isinstance(value, bool):
+                body += b"\x08" + cname + (b"\x01" if value else b"\x00")
+            elif isinstance(value, int):
+                body += b"\x12" + cname + struct.pack("<q", value)
+            elif isinstance(value, float):
+                body += b"\x01" + cname + struct.pack("<d", value)
+            elif isinstance(value, bytes):
+                body += (b"\x05" + cname + struct.pack("<i", len(value))
+                         + b"\x00" + value)
+            else:
+                encoded = value.encode()
+                body += (b"\x02" + cname
+                         + struct.pack("<i", len(encoded) + 1) + encoded + b"\x00")
+        return struct.pack("<i", len(body) + 5) + body + b"\x00"
+
+    def from_bson(self, data: bytes) -> FlatDocument:
+        if len(data) < 5:
+            raise TransformError("truncated BSON document")
+        (length,) = struct.unpack_from("<i", data, 0)
+        if length != len(data) or data[-1:] != b"\x00":
+            raise TransformError("bad BSON framing")
+        document: FlatDocument = {}
+        pos = 4
+        end = len(data) - 1
+        while pos < end:
+            element_type = data[pos]
+            pos += 1
+            key_end = data.index(b"\x00", pos)
+            key = data[pos:key_end].decode()
+            pos = key_end + 1
+            if element_type == 0x08:
+                document[key] = data[pos] == 1
+                pos += 1
+            elif element_type == 0x12:
+                (document[key],) = struct.unpack_from("<q", data, pos)
+                pos += 8
+            elif element_type == 0x01:
+                (document[key],) = struct.unpack_from("<d", data, pos)
+                pos += 8
+            elif element_type == 0x05:
+                (blob_len,) = struct.unpack_from("<i", data, pos)
+                pos += 5  # length + subtype byte
+                document[key] = data[pos:pos + blob_len]
+                pos += blob_len
+            elif element_type == 0x02:
+                (str_len,) = struct.unpack_from("<i", data, pos)
+                pos += 4
+                document[key] = data[pos:pos + str_len - 1].decode()
+                pos += str_len
+            elif element_type in (0x03, 0x04):
+                raise TransformError("nested BSON documents are not supported")
+            else:
+                raise TransformError(f"unsupported BSON element {element_type:#x}")
+        return document
+
+    # ------------------------------------------------------------------
+    # protobuf-like tag-length-value
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _varint(value: int) -> bytes:
+        out = b""
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out += bytes([byte | 0x80])
+            else:
+                return out + bytes([byte])
+
+    @staticmethod
+    def _read_varint(data: bytes, pos: int):
+        shift = 0
+        value = 0
+        while True:
+            if pos >= len(data):
+                raise TransformError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value, pos
+            shift += 7
+
+    _PB_KINDS = {str: 0, int: 1, float: 2, bool: 3, bytes: 4}
+
+    def to_protobuf(self, document: FlatDocument) -> bytes:
+        _validate_flat(document)
+        out = b""
+        for key, value in sorted(document.items()):
+            kind = 3 if isinstance(value, bool) else self._PB_KINDS[type(value)]
+            if isinstance(value, bool):
+                payload = b"\x01" if value else b"\x00"
+            elif isinstance(value, int):
+                payload = struct.pack("<q", value)
+            elif isinstance(value, float):
+                payload = struct.pack("<d", value)
+            elif isinstance(value, bytes):
+                payload = value
+            else:
+                payload = value.encode()
+            key_bytes = key.encode()
+            out += (self._varint(kind) + self._varint(len(key_bytes)) + key_bytes
+                    + self._varint(len(payload)) + payload)
+        return out
+
+    def from_protobuf(self, data: bytes) -> FlatDocument:
+        document: FlatDocument = {}
+        pos = 0
+        while pos < len(data):
+            kind, pos = self._read_varint(data, pos)
+            key_len, pos = self._read_varint(data, pos)
+            key = data[pos:pos + key_len].decode()
+            pos += key_len
+            payload_len, pos = self._read_varint(data, pos)
+            payload = data[pos:pos + payload_len]
+            pos += payload_len
+            if kind == 0:
+                document[key] = payload.decode()
+            elif kind == 1:
+                (document[key],) = struct.unpack("<q", payload)
+            elif kind == 2:
+                (document[key],) = struct.unpack("<d", payload)
+            elif kind == 3:
+                document[key] = payload == b"\x01"
+            elif kind == 4:
+                document[key] = payload
+            else:
+                raise TransformError(f"unknown protobuf field kind {kind}")
+        return document
+
+    # ------------------------------------------------------------------
+    # generic conversion
+    # ------------------------------------------------------------------
+    _ENCODERS = {
+        DataFormat.STRING: "to_string",
+        DataFormat.JSON: "to_json",
+        DataFormat.BSON: "to_bson",
+        DataFormat.PROTOBUF: "to_protobuf",
+    }
+    _DECODERS = {
+        DataFormat.STRING: "from_string",
+        DataFormat.JSON: "from_json",
+        DataFormat.BSON: "from_bson",
+        DataFormat.PROTOBUF: "from_protobuf",
+    }
+
+    def encode(self, document: FlatDocument, fmt: DataFormat):
+        """Encode the app-object ``document`` into ``fmt``."""
+        if fmt == DataFormat.APP_OBJECT:
+            return dict(_validate_flat(document))
+        return getattr(self, self._ENCODERS[fmt])(document)
+
+    def decode(self, payload, fmt: DataFormat) -> FlatDocument:
+        """Decode a ``fmt`` payload into the app-object form."""
+        if fmt == DataFormat.APP_OBJECT:
+            return dict(_validate_flat(payload))
+        return getattr(self, self._DECODERS[fmt])(payload)
+
+    def transform(self, payload, src: DataFormat, dst: DataFormat):
+        """Convert ``payload`` from ``src`` format to ``dst`` format."""
+        if src == dst:
+            return payload
+        return self.encode(self.decode(payload, src), dst)

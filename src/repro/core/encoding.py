@@ -1,0 +1,359 @@
+"""Binary trace encoding: 4-bit accelerator IDs, 16-slot traces, splitting.
+
+The paper encodes accelerators as 4-bit IDs and caps the accelerator
+sequence of a trace at 8 bytes — "up to 16 accelerator invocations per
+trace" (Section IV-A). Branch conditions, data-transformation fields
+and the ATM tail address are additional metadata fields of the queue
+entry (whose trace region is part of the 2.1 KB entry), so they do not
+consume accelerator slots. Sequences longer than 16 invocations are
+split into subtraces chained through the ATM.
+
+This module implements:
+
+* a concrete nibble-stream wire encoding for the *whole* trace
+  (accelerator slots + control metadata), bounded by
+  ``MAX_ENCODED_BYTES``,
+* the 16-slot accelerator budget check (``fits``),
+* a decoder used by round-trip property tests,
+* the subtrace splitter.
+
+Nibble opcodes::
+
+    0x0-0x8  accelerator IDs (enum order: TCP..LdB)
+    0x9      BRANCH: cond nibble, len(true) nibble, true arm,
+                     len(false) nibble, false arm
+    0xA      TRANSFORM: src-format nibble, dst-format nibble
+    0xB      ATM link: 4 nibbles of 16-bit trace id (terminal)
+    0xC      NOTIFY CPU (terminal)
+    0xD      NOTIFY CPU with error (terminal)
+    0xE      PARALLEL: n-arms nibble, then per arm len nibble + nodes
+    0xF      padding
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..hw.params import ACCEL_KINDS, AcceleratorKind
+from .nodes import (
+    CONDITIONS,
+    AccelStep,
+    AtmLinkNode,
+    BranchNode,
+    DataFormat,
+    NotifyNode,
+    ParallelNode,
+    TraceNode,
+    TransformNode,
+)
+from .trace import Trace
+
+__all__ = [
+    "MAX_TRACE_BYTES",
+    "MAX_ACCEL_SLOTS",
+    "MAX_ENCODED_BYTES",
+    "EncodingError",
+    "TraceNameTable",
+    "accel_slots",
+    "encode_nodes",
+    "encode_trace",
+    "decode_trace",
+    "encoded_nibbles",
+    "fits",
+    "split_trace",
+]
+
+#: The paper's accelerator-sequence budget: 8 bytes of 4-bit IDs.
+MAX_TRACE_BYTES = 8
+MAX_ACCEL_SLOTS = MAX_TRACE_BYTES * 2
+#: Bound on the full wire encoding (slots + control metadata); the
+#: queue entry reserves this much trace space beyond the 2 KB payload.
+MAX_ENCODED_BYTES = 64
+_MAX_NIBBLES = MAX_ENCODED_BYTES * 2
+
+_OP_BRANCH = 0x9
+_OP_TRANSFORM = 0xA
+_OP_ATM = 0xB
+_OP_NOTIFY = 0xC
+_OP_NOTIFY_ERROR = 0xD
+_OP_PARALLEL = 0xE
+_OP_PAD = 0xF
+
+_KIND_CODES: Dict[AcceleratorKind, int] = {k: i for i, k in enumerate(ACCEL_KINDS)}
+_CODE_KINDS: Dict[int, AcceleratorKind] = {i: k for k, i in _KIND_CODES.items()}
+
+_CONDITION_CODES: Dict[str, int] = {
+    name: i for i, name in enumerate(sorted(CONDITIONS))
+}
+_CODE_CONDITIONS: Dict[int, str] = {i: n for n, i in _CONDITION_CODES.items()}
+
+_FORMAT_CODES: Dict[DataFormat, int] = {f: i for i, f in enumerate(DataFormat)}
+_CODE_FORMATS: Dict[int, DataFormat] = {i: f for f, i in _FORMAT_CODES.items()}
+
+
+class EncodingError(Exception):
+    """A trace cannot be encoded within the hardware limits."""
+
+
+class TraceNameTable:
+    """Bidirectional trace-name <-> 16-bit id mapping for ATM links."""
+
+    def __init__(self):
+        self._ids: Dict[str, int] = {}
+        self._names: Dict[int, str] = {}
+
+    def id_of(self, name: str) -> int:
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        new_id = len(self._ids)
+        if new_id > 0xFFFF:
+            raise EncodingError("trace name table overflow (>65536 traces)")
+        self._ids[name] = new_id
+        self._names[new_id] = name
+        return new_id
+
+    def name_of(self, trace_id: int) -> str:
+        try:
+            return self._names[trace_id]
+        except KeyError:
+            raise EncodingError(f"unknown trace id {trace_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+
+def accel_slots(nodes: Sequence[TraceNode]) -> int:
+    """Accelerator-ID slots a node sequence occupies (all arms counted)."""
+    slots = 0
+    for node in nodes:
+        if isinstance(node, AccelStep):
+            slots += 1
+        elif isinstance(node, BranchNode):
+            slots += accel_slots(node.on_true) + accel_slots(node.on_false)
+        elif isinstance(node, ParallelNode):
+            slots += sum(accel_slots(arm) for arm in node.arms)
+    return slots
+
+
+def encode_nodes(nodes: Sequence[TraceNode], names: TraceNameTable) -> List[int]:
+    """Encode a node sequence into a list of nibbles."""
+    nibbles: List[int] = []
+    for node in nodes:
+        if isinstance(node, AccelStep):
+            nibbles.append(_KIND_CODES[node.kind])
+        elif isinstance(node, BranchNode):
+            cond_code = _CONDITION_CODES.get(node.condition.name)
+            if cond_code is None:
+                raise EncodingError(
+                    f"condition {node.condition.name!r} has no hardware code"
+                )
+            true_arm = encode_nodes(node.on_true, names)
+            false_arm = encode_nodes(node.on_false, names)
+            if len(true_arm) > 0xF or len(false_arm) > 0xF:
+                raise EncodingError("branch arm exceeds 15 nibbles")
+            nibbles.append(_OP_BRANCH)
+            nibbles.append(cond_code)
+            nibbles.append(len(true_arm))
+            nibbles.extend(true_arm)
+            nibbles.append(len(false_arm))
+            nibbles.extend(false_arm)
+        elif isinstance(node, TransformNode):
+            nibbles.append(_OP_TRANSFORM)
+            nibbles.append(_FORMAT_CODES[node.src])
+            nibbles.append(_FORMAT_CODES[node.dst])
+        elif isinstance(node, AtmLinkNode):
+            trace_id = names.id_of(node.next_trace)
+            nibbles.append(_OP_ATM)
+            nibbles.extend(
+                [(trace_id >> 12) & 0xF, (trace_id >> 8) & 0xF,
+                 (trace_id >> 4) & 0xF, trace_id & 0xF]
+            )
+        elif isinstance(node, NotifyNode):
+            nibbles.append(_OP_NOTIFY_ERROR if node.error else _OP_NOTIFY)
+        elif isinstance(node, ParallelNode):
+            arms = [encode_nodes(arm, names) for arm in node.arms]
+            if len(arms) > 0xF:
+                raise EncodingError("too many parallel arms")
+            nibbles.append(_OP_PARALLEL)
+            nibbles.append(len(arms))
+            for arm in arms:
+                if len(arm) > 0xF:
+                    raise EncodingError("parallel arm exceeds 15 nibbles")
+                nibbles.append(len(arm))
+                nibbles.extend(arm)
+        else:  # pragma: no cover - defensive
+            raise EncodingError(f"cannot encode {type(node).__name__}")
+    return nibbles
+
+
+def encoded_nibbles(trace: Trace, names: TraceNameTable = None) -> int:
+    """Encoded size of a trace in nibbles (slots + metadata)."""
+    if names is None:
+        names = TraceNameTable()
+    return len(encode_nodes(trace.nodes, names))
+
+
+def fits(trace: Trace, names: TraceNameTable = None) -> bool:
+    """Whether the trace fits the hardware budget.
+
+    Two limits apply: at most 16 accelerator-ID slots (the paper's
+    8-byte sequence), and the full wire encoding within the queue
+    entry's trace region.
+    """
+    if accel_slots(trace.nodes) > MAX_ACCEL_SLOTS:
+        return False
+    try:
+        return encoded_nibbles(trace, names) <= _MAX_NIBBLES
+    except EncodingError:
+        return False
+
+
+def encode_trace(trace: Trace, names: TraceNameTable = None) -> bytes:
+    """Encode a trace into its wire form (nibbles padded to bytes)."""
+    if names is None:
+        names = TraceNameTable()
+    slots = accel_slots(trace.nodes)
+    if slots > MAX_ACCEL_SLOTS:
+        raise EncodingError(
+            f"trace {trace.name!r} has {slots} accelerator slots "
+            f"(max {MAX_ACCEL_SLOTS}); split it into subtraces"
+        )
+    nibbles = encode_nodes(trace.nodes, names)
+    if len(nibbles) > _MAX_NIBBLES:
+        raise EncodingError(
+            f"trace {trace.name!r} needs {len(nibbles)} nibbles "
+            f"(max {_MAX_NIBBLES})"
+        )
+    if len(nibbles) % 2:
+        nibbles = nibbles + [_OP_PAD]
+    return bytes((nibbles[i] << 4) | nibbles[i + 1] for i in range(0, len(nibbles), 2))
+
+
+def _decode(nibbles: List[int], pos: int, end: int) -> Tuple[List[TraceNode], int]:
+    nodes: List[TraceNode] = []
+    while pos < end:
+        op = nibbles[pos]
+        pos += 1
+        if op <= 0x8:
+            nodes.append(AccelStep(_CODE_KINDS[op]))
+        elif op == _OP_BRANCH:
+            cond = _CODE_CONDITIONS[nibbles[pos]]
+            pos += 1
+            true_len = nibbles[pos]
+            pos += 1
+            true_arm, pos = _decode(nibbles, pos, pos + true_len)
+            false_len = nibbles[pos]
+            pos += 1
+            false_arm, pos = _decode(nibbles, pos, pos + false_len)
+            nodes.append(BranchNode(cond, true_arm, false_arm))
+        elif op == _OP_TRANSFORM:
+            src = _CODE_FORMATS[nibbles[pos]]
+            dst = _CODE_FORMATS[nibbles[pos + 1]]
+            pos += 2
+            nodes.append(TransformNode(src, dst))
+        elif op == _OP_ATM:
+            trace_id = (
+                (nibbles[pos] << 12)
+                | (nibbles[pos + 1] << 8)
+                | (nibbles[pos + 2] << 4)
+                | nibbles[pos + 3]
+            )
+            pos += 4
+            nodes.append(AtmLinkNode(f"#atm:{trace_id}"))
+        elif op == _OP_NOTIFY:
+            nodes.append(NotifyNode(error=False))
+        elif op == _OP_NOTIFY_ERROR:
+            nodes.append(NotifyNode(error=True))
+        elif op == _OP_PARALLEL:
+            n_arms = nibbles[pos]
+            pos += 1
+            arms = []
+            for _ in range(n_arms):
+                arm_len = nibbles[pos]
+                pos += 1
+                arm, pos = _decode(nibbles, pos, pos + arm_len)
+                arms.append(arm)
+            nodes.append(ParallelNode(arms))
+        elif op == _OP_PAD:
+            continue
+        else:  # pragma: no cover - defensive
+            raise EncodingError(f"bad opcode {op:#x}")
+    return nodes, pos
+
+
+def decode_trace(
+    data: bytes, name: str = "decoded", names: TraceNameTable = None
+) -> Trace:
+    """Decode wire bytes back into a trace (resolving ATM ids if given)."""
+    nibbles: List[int] = []
+    for byte in data:
+        nibbles.append((byte >> 4) & 0xF)
+        nibbles.append(byte & 0xF)
+    nodes, _ = _decode(nibbles, 0, len(nibbles))
+    if names is not None:
+        nodes = [_resolve_links(node, names) for node in nodes]
+    return Trace(name, nodes)
+
+
+def _resolve_links(node: TraceNode, names: TraceNameTable) -> TraceNode:
+    if isinstance(node, AtmLinkNode) and node.next_trace.startswith("#atm:"):
+        trace_id = int(node.next_trace[5:])
+        return AtmLinkNode(names.name_of(trace_id))
+    if isinstance(node, BranchNode):
+        return BranchNode(
+            node.condition,
+            [_resolve_links(n, names) for n in node.on_true],
+            [_resolve_links(n, names) for n in node.on_false],
+        )
+    if isinstance(node, ParallelNode):
+        return ParallelNode(
+            [[_resolve_links(n, names) for n in arm] for arm in node.arms]
+        )
+    return node
+
+
+def split_trace(trace: Trace, names: TraceNameTable = None) -> List[Trace]:
+    """Split a too-long trace into ATM-chained subtraces.
+
+    Splitting happens at top-level accelerator-step boundaries; each
+    subtrace but the last gets an :class:`AtmLinkNode` tail pointing at
+    its successor. Traces that already fit are returned unchanged.
+    """
+    if names is None:
+        names = TraceNameTable()
+    if fits(trace, names):
+        return [trace]
+
+    pieces: List[List[TraceNode]] = []
+    current: List[TraceNode] = []
+    current_slots = 0
+    for node in trace.nodes:
+        node_slots = accel_slots([node])
+        if node_slots > MAX_ACCEL_SLOTS:
+            raise EncodingError(
+                f"trace {trace.name!r}: single node holds {node_slots} "
+                "accelerator slots and cannot be split further"
+            )
+        boundary_ok = isinstance(node, AccelStep) and current
+        if current_slots + node_slots > MAX_ACCEL_SLOTS and boundary_ok:
+            pieces.append(current)
+            current = []
+            current_slots = 0
+        current.append(node)
+        current_slots += node_slots
+    if current:
+        pieces.append(current)
+
+    subtraces: List[Trace] = []
+    for index, piece in enumerate(pieces):
+        sub_name = trace.name if index == 0 else f"{trace.name}#{index}"
+        if index < len(pieces) - 1:
+            piece = piece + [AtmLinkNode(f"{trace.name}#{index + 1}")]
+        subtraces.append(Trace(sub_name, piece))
+    for sub in subtraces:
+        if not fits(sub, names):
+            raise EncodingError(
+                f"subtrace {sub.name!r} still does not fit after splitting"
+            )
+    return subtraces

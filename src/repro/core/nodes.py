@@ -1,0 +1,265 @@
+"""Trace node types: accelerator steps, branches, transforms, links.
+
+A trace (Section IV-A) is a small program over the accelerator
+ensemble. Its nodes are:
+
+* :class:`AccelStep` — invoke one accelerator.
+* :class:`BranchNode` — a condition over payload fields, resolved by the
+  *previous* accelerator's output dispatcher, selecting one of two arms.
+* :class:`TransformNode` — a data-format change (string/JSON/BSON/...)
+  performed by the previous accelerator's Data Transform Engine.
+* :class:`ParallelNode` — fork into arms executed concurrently (e.g.
+  trace T6 both notifies the CPU and writes back to the DB cache).
+* :class:`AtmLinkNode` — tail link: fetch the next trace from the ATM.
+* :class:`NotifyNode` — deposit results and notify the initiating core.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Sequence, Union
+
+from ..hw.params import AcceleratorKind
+
+__all__ = [
+    "DataFormat",
+    "BranchCondition",
+    "CONDITIONS",
+    "TraceNode",
+    "AccelStep",
+    "BranchNode",
+    "TransformNode",
+    "ParallelNode",
+    "AtmLinkNode",
+    "NotifyNode",
+    "TraceValidationError",
+]
+
+
+class TraceValidationError(Exception):
+    """A trace is structurally invalid."""
+
+
+class DataFormat(enum.Enum):
+    """Payload wire/application formats the DTE can convert between.
+
+    The engine is a simplified (De)Ser unit (Section V.2): flat formats
+    only, no nested messages or custom types.
+    """
+
+    STRING = "string"
+    JSON = "json"
+    BSON = "bson"
+    PROTOBUF = "protobuf"
+    APP_OBJECT = "app-object"
+
+
+class BranchCondition:
+    """A named, simple condition over payload fields.
+
+    The paper's conditions (Section VII.B.2) check a field in the output
+    queue entry: Compressed?, Hit?, Found?, Exception?, C-Compressed?.
+    ``fields`` may name several payload bits combined with ``op``
+    ("and"/"or"), covering forms like "if (field1 & field2)".
+    """
+
+    def __init__(self, name: str, fields: Sequence[str], op: str = "and"):
+        if not fields:
+            raise TraceValidationError("a branch condition needs at least one field")
+        if op not in ("and", "or"):
+            raise TraceValidationError(f"unknown condition op {op!r}")
+        self.name = name
+        self.fields = tuple(fields)
+        self.op = op
+
+    def evaluate(self, state: Dict[str, bool]) -> bool:
+        """Resolve the condition against the request's payload fields.
+
+        Missing fields read as False (a clear bit).
+        """
+        values = (bool(state.get(field, False)) for field in self.fields)
+        return all(values) if self.op == "and" else any(values)
+
+    def __repr__(self) -> str:
+        return f"BranchCondition({self.name!r}, fields={self.fields}, op={self.op!r})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BranchCondition):
+            return (self.name, self.fields, self.op) == (
+                other.name,
+                other.fields,
+                other.op,
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.fields, self.op))
+
+
+#: The conditions that appear in the paper's traces.
+CONDITIONS: Dict[str, BranchCondition] = {
+    "compressed": BranchCondition("compressed", ["compressed"]),
+    "hit": BranchCondition("hit", ["hit"]),
+    "found": BranchCondition("found", ["found"]),
+    "exception": BranchCondition("exception", ["exception"]),
+    "c_compressed": BranchCondition("c_compressed", ["c_compressed"]),
+}
+
+
+class TraceNode:
+    """Base class for trace nodes."""
+
+    __slots__ = ()
+
+
+class AccelStep(TraceNode):
+    """Invoke one accelerator."""
+
+    __slots__ = ("kind",)
+
+    def __init__(self, kind: AcceleratorKind):
+        if not isinstance(kind, AcceleratorKind):
+            raise TraceValidationError(f"{kind!r} is not an AcceleratorKind")
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"AccelStep({self.kind.value})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, AccelStep):
+            return self.kind == other.kind
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("accel", self.kind))
+
+
+NodeList = List[TraceNode]
+
+
+class BranchNode(TraceNode):
+    """Conditional control flow inside a trace.
+
+    The chosen arm executes, then control continues with the nodes after
+    the branch — unless the arm ends in a terminal node
+    (:class:`NotifyNode` or :class:`AtmLinkNode`), which ends the trace.
+    """
+
+    __slots__ = ("condition", "on_true", "on_false")
+
+    def __init__(
+        self,
+        condition: Union[BranchCondition, str],
+        on_true: Sequence[TraceNode],
+        on_false: Sequence[TraceNode] = (),
+    ):
+        if isinstance(condition, str):
+            try:
+                condition = CONDITIONS[condition]
+            except KeyError:
+                raise TraceValidationError(
+                    f"unknown condition {condition!r}; known: {sorted(CONDITIONS)}"
+                ) from None
+        self.condition = condition
+        self.on_true: NodeList = list(on_true)
+        self.on_false: NodeList = list(on_false)
+
+    def arm(self, taken: bool) -> NodeList:
+        return self.on_true if taken else self.on_false
+
+    def __repr__(self) -> str:
+        return (
+            f"BranchNode({self.condition.name}, "
+            f"true={len(self.on_true)} nodes, false={len(self.on_false)} nodes)"
+        )
+
+
+class TransformNode(TraceNode):
+    """Data-format transformation performed by the output dispatcher."""
+
+    __slots__ = ("src", "dst")
+
+    #: Conversions the simplified DTE supports.
+    SUPPORTED = {
+        (DataFormat.STRING, DataFormat.JSON),
+        (DataFormat.JSON, DataFormat.STRING),
+        (DataFormat.STRING, DataFormat.BSON),
+        (DataFormat.BSON, DataFormat.STRING),
+        (DataFormat.JSON, DataFormat.BSON),
+        (DataFormat.BSON, DataFormat.JSON),
+        (DataFormat.PROTOBUF, DataFormat.APP_OBJECT),
+        (DataFormat.APP_OBJECT, DataFormat.PROTOBUF),
+    }
+
+    def __init__(self, src: DataFormat, dst: DataFormat):
+        if src == dst:
+            raise TraceValidationError("transformation must change the format")
+        if (src, dst) not in self.SUPPORTED:
+            raise TraceValidationError(
+                f"the simplified DTE cannot convert {src.value} -> {dst.value}"
+            )
+        self.src = src
+        self.dst = dst
+
+    def __repr__(self) -> str:
+        return f"TransformNode({self.src.value} -> {self.dst.value})"
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, TransformNode):
+            return (self.src, self.dst) == (other.src, other.dst)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("transform", self.src, self.dst))
+
+
+class ParallelNode(TraceNode):
+    """Fork into concurrently executing arms.
+
+    Exactly one arm may be *critical* (end with a CPU notification); the
+    request's latency is that arm's completion. Other arms are
+    fire-and-forget (e.g. the DB-cache write-back of trace T6).
+    """
+
+    __slots__ = ("arms",)
+
+    def __init__(self, arms: Sequence[Sequence[TraceNode]]):
+        if len(arms) < 2:
+            raise TraceValidationError("a parallel node needs at least two arms")
+        self.arms: List[NodeList] = [list(arm) for arm in arms]
+
+    def __repr__(self) -> str:
+        return f"ParallelNode({len(self.arms)} arms)"
+
+
+class AtmLinkNode(TraceNode):
+    """Tail of a trace: the ATM address of the next trace to run.
+
+    Traces are built before ATM addresses exist, so the link is symbolic
+    (the name of the follow-on trace); addresses are bound when the
+    trace set is installed into a server's ATM.
+    """
+
+    __slots__ = ("next_trace",)
+
+    def __init__(self, next_trace: str):
+        if not next_trace:
+            raise TraceValidationError("ATM link needs a trace name")
+        self.next_trace = next_trace
+
+    def __repr__(self) -> str:
+        return f"AtmLinkNode(-> {self.next_trace})"
+
+
+class NotifyNode(TraceNode):
+    """Deposit results to memory and notify the initiating CPU core."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: bool = False):
+        #: True when this notification reports an error/exception to the
+        #: user (the error arms of T6/T7/T10).
+        self.error = error
+
+    def __repr__(self) -> str:
+        return f"NotifyNode(error={self.error})"

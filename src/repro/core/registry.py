@@ -1,0 +1,92 @@
+"""Trace registry: the per-service catalogue of registered traces.
+
+Services register traces once (from the standard templates or built via
+the :mod:`repro.core.builder` API) and invoke them by name with
+``run_trace`` (Listing 2). The registry also resolves the symbolic ATM
+links between traces and checks the whole set is closed and encodable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .encoding import TraceNameTable, fits, split_trace
+from .templates import standard_trace_set
+from .trace import Trace
+
+__all__ = ["TraceRegistry", "TraceError"]
+
+
+class TraceError(Exception):
+    """Raised to the application when trace execution fails.
+
+    Mirrors the exception of Listing 2: the service catches it and runs
+    its ``cpu_fallback`` routine.
+    """
+
+
+class TraceRegistry:
+    """Named traces of one service, with ATM-link resolution."""
+
+    def __init__(self, traces: Optional[Dict[str, Trace]] = None):
+        self._traces: Dict[str, Trace] = {}
+        if traces:
+            for name, trace in traces.items():
+                self.register(trace, name=name)
+
+    @classmethod
+    def with_standard_templates(cls) -> "TraceRegistry":
+        """A registry preloaded with the paper's T1-T12 catalogue."""
+        return cls(standard_trace_set())
+
+    def register(self, trace: Trace, name: Optional[str] = None) -> None:
+        """Register ``trace`` (splitting it if it exceeds 8 bytes)."""
+        name = name or trace.name
+        if name in self._traces:
+            raise TraceError(f"trace {name!r} already registered")
+        if fits(trace):
+            self._traces[name] = trace
+            return
+        # Too long for the 8-byte hardware trace: store as a chain of
+        # ATM-linked subtraces under the original entry name.
+        for sub in split_trace(trace):
+            sub_name = name if sub.name == trace.name else sub.name
+            if sub_name in self._traces:
+                raise TraceError(f"subtrace {sub_name!r} collides")
+            self._traces[sub_name] = sub
+
+    def get(self, name: str) -> Trace:
+        try:
+            return self._traces[name]
+        except KeyError:
+            raise TraceError(
+                f"unknown trace {name!r}; registered: {sorted(self._traces)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def names(self) -> List[str]:
+        return sorted(self._traces)
+
+    def traces(self) -> Iterable[Trace]:
+        return self._traces.values()
+
+    def validate_closed(self) -> None:
+        """Check every ATM link points at a registered trace."""
+        for trace in self._traces.values():
+            for linked in trace.linked_traces():
+                if linked not in self._traces:
+                    raise TraceError(
+                        f"trace {trace.name!r} links to unregistered {linked!r}"
+                    )
+
+    def name_table(self) -> TraceNameTable:
+        """A stable name<->id table covering all registered traces."""
+        table = TraceNameTable()
+        for name in self.names():
+            table.id_of(name)
+        return table

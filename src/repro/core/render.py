@@ -1,0 +1,147 @@
+"""Human-readable renderings of traces: ASCII art and Graphviz dot.
+
+The paper presents traces as box-and-arrow diagrams (Figures 2, 4, 7);
+these helpers produce the same pictures from :class:`Trace` objects so
+examples, docs and debugging sessions can show what a trace does.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .nodes import (
+    AccelStep,
+    AtmLinkNode,
+    BranchNode,
+    NotifyNode,
+    ParallelNode,
+    TraceNode,
+    TransformNode,
+)
+from .trace import Trace
+
+__all__ = ["render_ascii", "render_dot"]
+
+
+def render_ascii(trace: Trace) -> str:
+    """One-line-per-node rendering with indented branch/fork arms.
+
+    Example output for Figure 4a's trace::
+
+        trace func_req:
+          [TCP] -> [Decr] -> [RPC] -> [Dser]
+          ? compressed
+            yes: {json->string} -> [Dcmp]
+            no : (continue)
+          [LdB]
+          -> notify CPU
+    """
+    lines: List[str] = [f"trace {trace.name}:"]
+    _render_nodes(trace.nodes, lines, indent=1)
+    # The implicit end-of-trace notification applies when execution can
+    # fall off the end (the last node is a plain step, not a terminal or
+    # a branch whose arms all terminate).
+    if isinstance(trace.nodes[-1], (AccelStep, TransformNode)):
+        lines.append("  -> notify CPU")
+    return "\n".join(lines)
+
+
+def _render_nodes(nodes: List[TraceNode], lines: List[str], indent: int) -> None:
+    pad = "  " * indent
+    run: List[str] = []
+
+    def flush():
+        if run:
+            lines.append(pad + " -> ".join(run))
+            run.clear()
+
+    for node in nodes:
+        if isinstance(node, AccelStep):
+            run.append(f"[{node.kind.value}]")
+        elif isinstance(node, TransformNode):
+            run.append(f"{{{node.src.value}->{node.dst.value}}}")
+        elif isinstance(node, BranchNode):
+            flush()
+            lines.append(f"{pad}? {node.condition.name}")
+            if node.on_true:
+                lines.append(f"{pad}  yes:")
+                _render_nodes(node.on_true, lines, indent + 2)
+            else:
+                lines.append(f"{pad}  yes: (continue)")
+            if node.on_false:
+                lines.append(f"{pad}  no :")
+                _render_nodes(node.on_false, lines, indent + 2)
+            else:
+                lines.append(f"{pad}  no : (continue)")
+        elif isinstance(node, ParallelNode):
+            flush()
+            lines.append(f"{pad}parallel:")
+            for index, arm in enumerate(node.arms):
+                lines.append(f"{pad}  arm {index + 1}:")
+                _render_nodes(arm, lines, indent + 2)
+        elif isinstance(node, AtmLinkNode):
+            flush()
+            lines.append(f"{pad}-> ATM: {node.next_trace} *")
+        elif isinstance(node, NotifyNode):
+            flush()
+            target = "notify CPU (error)" if node.error else "notify CPU"
+            lines.append(f"{pad}-> {target}")
+    flush()
+
+
+def render_dot(trace: Trace) -> str:
+    """Graphviz dot for the trace's node graph (paste into ``dot -Tpng``)."""
+    lines = [
+        f'digraph "{trace.name}" {{',
+        "  rankdir=LR;",
+        '  node [shape=box, fontname="monospace"];',
+    ]
+    counter = [0]
+
+    def fresh(label: str, shape: str = "box") -> str:
+        counter[0] += 1
+        node_id = f"n{counter[0]}"
+        lines.append(f'  {node_id} [label="{label}", shape={shape}];')
+        return node_id
+
+    def walk(nodes: List[TraceNode], prev: str) -> str:
+        for node in nodes:
+            if isinstance(node, AccelStep):
+                current = fresh(node.kind.value)
+                lines.append(f"  {prev} -> {current};")
+                prev = current
+            elif isinstance(node, TransformNode):
+                current = fresh(f"{node.src.value}->{node.dst.value}", "ellipse")
+                lines.append(f"  {prev} -> {current};")
+                prev = current
+            elif isinstance(node, BranchNode):
+                current = fresh(f"{node.condition.name}?", "diamond")
+                lines.append(f"  {prev} -> {current};")
+                true_end = walk(node.on_true, current) if node.on_true else current
+                false_end = walk(node.on_false, current) if node.on_false else current
+                join = fresh("", "point")
+                lines.append(f"  {true_end} -> {join};")
+                if false_end is not true_end:
+                    lines.append(f"  {false_end} -> {join};")
+                prev = join
+            elif isinstance(node, ParallelNode):
+                current = fresh("fork", "trapezium")
+                lines.append(f"  {prev} -> {current};")
+                for arm in node.arms:
+                    walk(arm, current)
+                prev = current
+            elif isinstance(node, AtmLinkNode):
+                current = fresh(f"ATM:{node.next_trace}", "cds")
+                lines.append(f"  {prev} -> {current};")
+                prev = current
+            elif isinstance(node, NotifyNode):
+                label = "notify CPU (error)" if node.error else "notify CPU"
+                current = fresh(label, "oval")
+                lines.append(f"  {prev} -> {current};")
+                prev = current
+        return prev
+
+    entry = fresh("start", "circle")
+    walk(trace.nodes, entry)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,79 @@
+"""Soft Service-Level Objectives (Section IV-C).
+
+When a request carries an SLO, the core assigns a *soft deadline* to
+each acceleration step as it builds the trace. Deadlines are relative
+to the start of execution: a step that finishes early passes its slack
+on. :class:`DeadlineAssigner` splits an end-to-end budget across the
+steps of a resolved path in proportion to their expected service times;
+accelerator input dispatchers then order entries by deadline (the EDF
+queue policy of :class:`repro.hw.accelerator.Accelerator`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..hw.params import AcceleratorKind
+from .trace import ResolvedPath
+
+__all__ = ["DeadlineAssigner", "SloTracker"]
+
+
+class DeadlineAssigner:
+    """Distributes an end-to-end latency budget over trace steps."""
+
+    def __init__(self, expected_service_ns: Callable[[AcceleratorKind], float]):
+        """``expected_service_ns`` estimates the service time per kind
+        (typically from calibration data or a moving average)."""
+        self._expected = expected_service_ns
+
+    def assign(
+        self, path: ResolvedPath, start_ns: float, budget_ns: float
+    ) -> List[float]:
+        """Absolute deadline for each step of ``path``.
+
+        The budget is split proportionally to expected service times and
+        deadlines are cumulative, so early completion of one step gives
+        the following steps more slack automatically.
+        """
+        if budget_ns <= 0:
+            raise ValueError(f"budget must be positive, got {budget_ns}")
+        weights = [max(self._expected(step.kind), 1.0) for step in path.steps]
+        total = sum(weights)
+        deadlines: List[float] = []
+        elapsed = 0.0
+        for weight in weights:
+            elapsed += budget_ns * weight / total
+            deadlines.append(start_ns + elapsed)
+        return deadlines
+
+
+class SloTracker:
+    """Counts SLO attainment over completed requests."""
+
+    def __init__(self, slo_ns: Optional[float] = None):
+        self.slo_ns = slo_ns
+        self.completed = 0
+        self.violations = 0
+
+    def record(self, latency_ns: float) -> bool:
+        """Record one completion; returns True if it met the SLO."""
+        self.completed += 1
+        if self.slo_ns is not None and latency_ns > self.slo_ns:
+            self.violations += 1
+            return False
+        return True
+
+    @property
+    def violation_rate(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return self.violations / self.completed
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "slo_ns": self.slo_ns if self.slo_ns is not None else float("nan"),
+            "completed": float(self.completed),
+            "violations": float(self.violations),
+            "violation_rate": self.violation_rate,
+        }

@@ -1,0 +1,244 @@
+"""The paper's trace catalogue T1-T12 (Table II, Figures 2, 4 and 7).
+
+Each template is a function so that call-site options ("with or without
+Cmp") produce distinct concrete traces. Send traces that expect a
+network response end in an ATM link to the corresponding receive trace
+(the asterisk notation of Figure 2b). The rarely-exercised error arms
+of T6/T7/T10 live in a separate trace (``T_ERR``) reached through the
+ATM, exactly as Section IV-B prescribes, so that common-case traces
+stay small on the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .builder import atm_link, branch, notify, parallel, seq, trans
+from .trace import Trace
+
+__all__ = [
+    "T_ERR",
+    "t1_receive_function_request",
+    "t2_send_response",
+    "t3_send_response_compressed",
+    "t4_send_db_cache_read",
+    "t5_receive_db_cache_read_response",
+    "t6_receive_db_read_response",
+    "t7_receive_db_write_response",
+    "t8_send_db_write",
+    "t9_send_rpc_request",
+    "t10_receive_rpc_response",
+    "t11_send_http_request",
+    "t12_receive_http_response",
+    "error_trace",
+    "standard_trace_set",
+    "TEMPLATE_DESCRIPTIONS",
+]
+
+#: Name of the shared error-reporting trace (split out of T6/T7/T10).
+T_ERR = "T_err"
+
+
+def error_trace() -> Trace:
+    """Report a function error to the user: Ser, RPC, Encr, TCP."""
+    return seq("Ser", "RPC", "Encr", "TCP", notify(error=True), name=T_ERR)
+
+
+def t1_receive_function_request() -> Trace:
+    """T1: receive a function request (Figure 4a).
+
+    TCP -> Decr -> RPC -> Dser, then, if the payload is compressed,
+    transform JSON -> string and decompress, and finally pick a core
+    with LdB.
+    """
+    return seq(
+        "TCP",
+        "Decr",
+        "RPC",
+        "Dser",
+        branch("compressed", on_true=[trans("json", "string"), "Dcmp"], on_false=[]),
+        "LdB",
+        name="T1",
+    )
+
+
+def t2_send_response() -> Trace:
+    """T2: send a function response without compression (Figure 2a)."""
+    return seq("Ser", "RPC", "Encr", "TCP", name="T2")
+
+
+def t3_send_response_compressed() -> Trace:
+    """T3: send a function response with compression.
+
+    Like T2 with Cmp first; no branch because the CPU core knows it
+    needs to compress.
+    """
+    return seq("Cmp", "Ser", "RPC", "Encr", "TCP", name="T3")
+
+
+def t4_send_db_cache_read() -> Trace:
+    """T4: send a read request to the DB cache (Figure 2b).
+
+    The TCP tail carries an ATM address (*): the response trace T5 is
+    preloaded into the same TCP accelerator's input queue.
+    """
+    return seq("Ser", "Encr", "TCP", atm_link("T5"), name="T4")
+
+
+def t5_receive_db_cache_read_response() -> Trace:
+    """T5: receive the response of a DB-cache read (Figure 7).
+
+    After Dser, a compressed payload is decompressed; then, on a cache
+    hit, LdB forwards to the requesting core; on a miss, a read is sent
+    to the actual database (Ser, Encr, TCP with an ATM link to T6).
+    """
+    return seq(
+        "TCP",
+        "Decr",
+        "Dser",
+        branch("compressed", on_true=["Dcmp"], on_false=[]),
+        branch(
+            "hit",
+            on_true=["LdB", notify()],
+            on_false=["Ser", "Encr", "TCP", atm_link("T6")],
+        ),
+        name="T5",
+    )
+
+
+def t6_receive_db_read_response() -> Trace:
+    """T6: receive the response of a DB read (Figure 7).
+
+    Data not found -> report the error to the user (separate error
+    trace via the ATM). Otherwise optionally decompress, then in
+    parallel hand the data to the CPU (LdB) and write it back to the DB
+    cache, recompressing if the cache stores compressed data.
+    """
+    return seq(
+        "TCP",
+        "Decr",
+        "Dser",
+        branch("found", on_true=[], on_false=[atm_link(T_ERR)]),
+        branch("compressed", on_true=["Dcmp"], on_false=[]),
+        parallel(
+            ["LdB", notify()],
+            [
+                branch("c_compressed", on_true=["Cmp"], on_false=[]),
+                "Ser",
+                "Encr",
+                "TCP",
+                atm_link("T7"),
+            ],
+        ),
+        name="T6",
+    )
+
+
+def t7_receive_db_write_response() -> Trace:
+    """T7: receive the response of a DB(-cache) write (Figure 7).
+
+    An exception in the response is reported straight to the user by
+    the ensemble; otherwise LdB notifies the requesting core.
+    """
+    return seq(
+        "TCP",
+        "Decr",
+        "Dser",
+        branch("exception", on_true=[atm_link(T_ERR)], on_false=[]),
+        "LdB",
+        name="T7",
+    )
+
+
+def t8_send_db_write(with_cmp: bool = False) -> Trace:
+    """T8: send a write to the DB cache or DB (with or without Cmp)."""
+    nodes = (["Cmp"] if with_cmp else []) + ["Ser", "Encr", "TCP", atm_link("T7")]
+    return seq(*nodes, name="T8c" if with_cmp else "T8")
+
+
+def t9_send_rpc_request(with_cmp: bool = False) -> Trace:
+    """T9: send a nested RPC request (with or without Cmp)."""
+    nodes = (["Cmp"] if with_cmp else []) + [
+        "Ser",
+        "RPC",
+        "Encr",
+        "TCP",
+        atm_link("T10"),
+    ]
+    return seq(*nodes, name="T9c" if with_cmp else "T9")
+
+
+def t10_receive_rpc_response() -> Trace:
+    """T10: receive a nested RPC response.
+
+    Exceptions are handled as in T7; a compressed payload is
+    decompressed before LdB hands the result to the core.
+    """
+    return seq(
+        "TCP",
+        "Decr",
+        "RPC",
+        "Dser",
+        branch("exception", on_true=[atm_link(T_ERR)], on_false=[]),
+        branch("compressed", on_true=["Dcmp"], on_false=[]),
+        "LdB",
+        name="T10",
+    )
+
+
+def t11_send_http_request(with_cmp: bool = False) -> Trace:
+    """T11: send an HTTP request (with or without Cmp)."""
+    nodes = (["Cmp"] if with_cmp else []) + ["Ser", "Encr", "TCP", atm_link("T12")]
+    return seq(*nodes, name="T11c" if with_cmp else "T11")
+
+
+def t12_receive_http_response() -> Trace:
+    """T12: receive an HTTP response (errors handled by the CPU)."""
+    return seq(
+        "TCP",
+        "Decr",
+        "Dser",
+        branch("compressed", on_true=["Dcmp"], on_false=[]),
+        "LdB",
+        name="T12",
+    )
+
+
+_FACTORIES: Dict[str, Callable[[], Trace]] = {
+    "T1": t1_receive_function_request,
+    "T2": t2_send_response,
+    "T3": t3_send_response_compressed,
+    "T4": t4_send_db_cache_read,
+    "T5": t5_receive_db_cache_read_response,
+    "T6": t6_receive_db_read_response,
+    "T7": t7_receive_db_write_response,
+    "T8": t8_send_db_write,
+    "T8c": lambda: t8_send_db_write(with_cmp=True),
+    "T9": t9_send_rpc_request,
+    "T9c": lambda: t9_send_rpc_request(with_cmp=True),
+    "T10": t10_receive_rpc_response,
+    "T11": t11_send_http_request,
+    "T11c": lambda: t11_send_http_request(with_cmp=True),
+    "T12": t12_receive_http_response,
+    T_ERR: error_trace,
+}
+
+TEMPLATE_DESCRIPTIONS: Dict[str, str] = {
+    "T1": "Receive function request (with or without Dcmp)",
+    "T2": "Send function response without Cmp",
+    "T3": "Send function response with Cmp",
+    "T4": "Send read request to DB cache",
+    "T5": "Receive response to a read to the DB cache (with or without Dcmp)",
+    "T6": "Receive response to a read to the DB (with or without Dcmp or Cmp)",
+    "T7": "Receive response to a write to the DB cache or DB",
+    "T8": "Send write request to DB cache or DB (with or without Cmp)",
+    "T9": "Send RPC request (with or without Cmp)",
+    "T10": "Receive RPC response",
+    "T11": "Send HTTP request (with or without Cmp)",
+    "T12": "Receive HTTP response",
+}
+
+
+def standard_trace_set() -> Dict[str, Trace]:
+    """All concrete traces of Table II (plus the shared error trace)."""
+    return {name: factory() for name, factory in _FACTORIES.items()}

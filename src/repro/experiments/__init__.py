@@ -1,0 +1,60 @@
+"""Per-figure/table experiment harness (the paper's evaluation)."""
+
+from . import (
+    char_branches,
+    characterization,
+    fig01_breakdown,
+    fig03_orchestration,
+    fig05_datasizes,
+    fig11_latency,
+    fig12_loads,
+    fig13_ablation,
+    fig14_throughput,
+    fig15_gem5,
+    fig16_serverless,
+    fig17_components,
+    fig18_chiplets,
+    fig19_pes,
+    fig20_generations,
+    sensitivity,
+    table1_connectivity,
+    table2_traces,
+    table4_paths,
+)
+from .common import LADDER, MAIN_ARCHITECTURES, SCALES, format_table
+
+#: Experiment id -> callable(scale, seed) returning {..., "table": str}.
+EXPERIMENTS = {
+    "fig1": fig01_breakdown.run,
+    "fig3": fig03_orchestration.run,
+    "fig5": fig05_datasizes.run,
+    "table1": table1_connectivity.run,
+    "table2": table2_traces.run,
+    "table4": table4_paths.run,
+    "fig11": fig11_latency.run,
+    "fig12": fig12_loads.run,
+    "fig13": fig13_ablation.run,
+    "fig14": fig14_throughput.run,
+    "fig15": fig15_gem5.run,
+    "fig16": fig16_serverless.run,
+    "fig17": fig17_components.run,
+    "fig18": fig18_chiplets.run,
+    "fig19": fig19_pes.run,
+    "fig20": fig20_generations.run,
+    "sens-interchiplet": sensitivity.run_interchiplet,
+    "sens-speedups": sensitivity.run_speedups,
+    "sens-adaptive": sensitivity.run_adaptive,
+    "char-branches": char_branches.run,
+    "char-glue": characterization.run_glue,
+    "char-utilization": characterization.run_utilization,
+    "char-energy": characterization.run_energy,
+    "char-events": characterization.run_events,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "LADDER",
+    "MAIN_ARCHITECTURES",
+    "SCALES",
+    "format_table",
+]

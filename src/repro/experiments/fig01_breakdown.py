@@ -1,0 +1,64 @@
+"""Figure 1: execution-time breakdown of SocialNetwork services.
+
+The paper profiles each service on a Xeon server and splits its time
+into AppLogic and the six tax categories; bars are normalized and the
+absolute execution times sit on top. Here the breakdown comes from the
+calibrated service models, cross-checked against a measured software-
+only (Non-acc) run whose CPU time must match the configured totals.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..server import run_unloaded
+from ..workloads import TaxCategory, social_network_services
+from .common import format_table
+
+__all__ = ["run"]
+
+
+def run(scale: str = "quick", seed: int = 0) -> Dict:
+    services = social_network_services()
+    rows = []
+    data = {}
+    for spec in services:
+        fractions = {c: spec.fractions[c] for c in TaxCategory.ALL}
+        measured = run_unloaded("non-acc", spec, requests=10, seed=seed)
+        data[spec.name] = {
+            "total_us": spec.total_time_ns / 1000.0,
+            "fractions": fractions,
+            "measured_mean_us": measured.mean_ns() / 1000.0,
+        }
+        rows.append(
+            [
+                spec.name,
+                spec.total_time_ns / 1000.0,
+                f"{fractions[TaxCategory.APP_LOGIC] * 100:.1f}%",
+                f"{fractions[TaxCategory.TCP] * 100:.1f}%",
+                f"{fractions[TaxCategory.ENCRYPTION] * 100:.1f}%",
+                f"{fractions[TaxCategory.RPC] * 100:.1f}%",
+                f"{fractions[TaxCategory.SERIALIZATION] * 100:.1f}%",
+                f"{fractions[TaxCategory.COMPRESSION] * 100:.1f}%",
+                f"{fractions[TaxCategory.LOAD_BALANCING] * 100:.1f}%",
+            ]
+        )
+    count = len(services)
+    averages = {
+        c: sum(d["fractions"][c] for d in data.values()) / count
+        for c in TaxCategory.ALL
+    }
+    rows.append(
+        [
+            "Average",
+            sum(d["total_us"] for d in data.values()) / count,
+        ]
+        + [f"{averages[c] * 100:.1f}%" for c in TaxCategory.ALL]
+    )
+    table = format_table(
+        ["Service", "Time(us)", "AppLogic", "TCP", "(De)Encr", "RPC",
+         "(De)Ser", "(De)Cmp", "LdB"],
+        rows,
+        title="Fig 1: Execution-time breakdown of SocialNetwork services",
+    )
+    return {"services": data, "averages": averages, "table": table}

@@ -1,0 +1,52 @@
+"""Figure 3: orchestration overhead vs. load.
+
+The paper simulates CPU-Centric, HW-Manager (RELIEF) and Direct
+orchestration and reports the orchestration overhead as a fraction of
+total service execution time, averaged across services, as the load
+sweeps up to 15 kRPS. The headline shape: Direct << HW-Manager <
+CPU-Centric, with the latter two growing rapidly with load (25% and
+15% at 15 kRPS).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..server import RunConfig, run_experiment
+from ..workloads import social_network_services
+from .common import format_table, requests_for
+
+__all__ = ["run", "APPROACHES", "LOADS_KRPS"]
+
+APPROACHES = ["cpu-centric", "relief", "direct"]
+LOADS_KRPS = [2.5, 5.0, 10.0, 15.0]
+
+
+def run(scale: str = "quick", seed: int = 0) -> Dict:
+    requests = requests_for(scale)
+    services = social_network_services()
+    data: Dict[str, Dict[float, float]] = {arch: {} for arch in APPROACHES}
+    for arch in APPROACHES:
+        for load in LOADS_KRPS:
+            config = RunConfig(
+                architecture=arch,
+                requests_per_service=requests,
+                seed=seed,
+                arrival_mode="poisson",
+                rate_rps=load * 1000.0,
+            )
+            result = run_experiment(services, config)
+            data[arch][load] = result.orchestration_fraction()
+    rows: List[List[object]] = []
+    label = {"cpu-centric": "CPU-Centric", "relief": "HW-Manager", "direct": "Direct"}
+    for arch in APPROACHES:
+        rows.append(
+            [label[arch]]
+            + [f"{data[arch][load] * 100:.1f}%" for load in LOADS_KRPS]
+        )
+    table = format_table(
+        ["Approach"] + [f"{load:g} kRPS" for load in LOADS_KRPS],
+        rows,
+        title="Fig 3: Orchestration overhead fraction vs load",
+    )
+    return {"fractions": data, "loads_krps": LOADS_KRPS, "table": table}

@@ -1,0 +1,81 @@
+"""Figure 15: coarse-grained image-processing / RNN applications.
+
+The paper validates AccelFlow on the gem5-based simulator released with
+RELIEF, running its image/RNN benchmark suite; AccelFlow achieves 1.8x
+RELIEF's maximum throughput on average. Substituted here with the
+coarse-accelerator suite of :mod:`repro.workloads.relief_suite` (see
+DESIGN.md): branch-free chains of tens-of-microsecond kernels over
+single-instance accelerators, where RELIEF pays a manager round trip
+and through-memory data staging on every hand-off while AccelFlow
+chains directly. Maximum throughput is SLO-bounded (5x unloaded), as in
+Figure 14.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..server import max_throughput_search, run_unloaded
+from ..workloads import (
+    coarse_machine_params,
+    relief_suite_registry,
+    relief_suite_services,
+)
+from .common import format_table, requests_for
+
+__all__ = ["run"]
+
+ARCHITECTURES = ["relief", "accelflow"]
+
+
+def run(scale: str = "quick", seed: int = 0) -> Dict:
+    requests = max(100, requests_for(scale) // 2)
+    iterations = {"smoke": 4, "quick": 5, "full": 7}.get(scale, 5)
+    registry = relief_suite_registry()
+    params = coarse_machine_params()
+    apps = relief_suite_services()
+    if scale == "smoke":
+        apps = apps[:4]
+
+    throughput: Dict[str, Dict[str, float]] = {a: {} for a in ARCHITECTURES}
+    for arch in ARCHITECTURES:
+        for spec in apps:
+            unloaded = run_unloaded(
+                arch, spec, requests=10, seed=seed,
+                machine_params=params, registry=registry,
+            ).mean_ns()
+            throughput[arch][spec.name] = max_throughput_search(
+                arch,
+                spec,
+                slo_ns=5.0 * unloaded,
+                requests=requests,
+                seed=seed,
+                iterations=iterations,
+                machine_params=params,
+                registry=registry,
+                probe_cap=max(400, requests * 2),
+            )
+
+    rows = []
+    speedups = {}
+    for spec in apps:
+        relief_tput = throughput["relief"][spec.name]
+        accelflow_tput = throughput["accelflow"][spec.name]
+        speedup = accelflow_tput / relief_tput if relief_tput > 0 else 0.0
+        speedups[spec.name] = speedup
+        rows.append(
+            [spec.name, relief_tput, accelflow_tput, f"{speedup:.2f}x"]
+        )
+    mean_speedup = sum(speedups.values()) / len(speedups)
+    rows.append(["MEAN", "", "", f"{mean_speedup:.2f}x"])
+    table = format_table(
+        ["Application", "RELIEF (RPS)", "AccelFlow (RPS)", "Speedup"],
+        rows,
+        title="Fig 15: max throughput, coarse image/RNN apps (paper mean: 1.8x)",
+    )
+    return {
+        "throughput_rps": throughput,
+        "speedups": speedups,
+        "mean_speedup": mean_speedup,
+        "table": table,
+    }

@@ -1,0 +1,50 @@
+"""Figure 18: P99 tail latency vs. chiplet organization.
+
+AccelFlow with the accelerators packed into 1/2/3/4/6 chiplets (Section
+VII.C.1 layouts). More chiplets mean more inter-chiplet crossings per
+trace; the paper measures +14% average tail latency from 2 to 6
+chiplets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hw import MachineParams
+from ..server import RunConfig, run_experiment
+from ..workloads import social_network_services
+from .common import format_table, pct_reduction, requests_for
+
+__all__ = ["run", "CHIPLET_COUNTS"]
+
+CHIPLET_COUNTS = [1, 2, 3, 4, 6]
+
+
+def run(scale: str = "quick", seed: int = 0, architecture: str = "accelflow") -> Dict:
+    requests = requests_for(scale)
+    services = social_network_services()
+    p99: Dict[int, float] = {}
+    for chiplets in CHIPLET_COUNTS:
+        config = RunConfig(
+            architecture=architecture,
+            requests_per_service=requests,
+            seed=seed,
+            arrival_mode="alibaba",
+            machine_params=MachineParams().with_layout(chiplets),
+        )
+        result = run_experiment(services, config)
+        p99[chiplets] = result.mean_p99_ns()
+
+    rows = [
+        [f"{chiplets}-chiplet", p99[chiplets] / 1000.0,
+         f"{-pct_reduction(p99[2], p99[chiplets]):+.1f}%"]
+        for chiplets in CHIPLET_COUNTS
+    ]
+    table = format_table(
+        ["Organization", "mean P99 (us)", "vs 2-chiplet"],
+        rows,
+        title="Fig 18: tail latency vs chiplet organization "
+              "(paper: 2->6 chiplets +14%)",
+    )
+    increase_2_to_6 = -pct_reduction(p99[2], p99[6])
+    return {"p99_ns": p99, "increase_2_to_6_pct": increase_2_to_6, "table": table}

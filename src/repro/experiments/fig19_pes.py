@@ -1,0 +1,63 @@
+"""Figure 19: P99 tail latency vs. PEs per accelerator.
+
+AccelFlow with 2/4/8 PEs per accelerator. Fewer PEs force CPU fallback
+(full queues + overflow); the paper measures +20.0% / +35.7% tail
+latency with 4 / 2 PEs and rising fallback rates (up to 39% of Encr
+requests with 2 PEs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hw import MachineParams
+from ..server import RunConfig, run_experiment
+from ..workloads import social_network_services
+from .common import format_table, pct_reduction, requests_for
+
+__all__ = ["run", "PE_COUNTS"]
+
+PE_COUNTS = [2, 4, 8]
+
+
+def run(scale: str = "quick", seed: int = 0, architecture: str = "accelflow") -> Dict:
+    requests = requests_for(scale)
+    services = social_network_services()
+    p99: Dict[int, float] = {}
+    fallback_fraction: Dict[int, float] = {}
+    for pes in PE_COUNTS:
+        config = RunConfig(
+            architecture=architecture,
+            requests_per_service=requests,
+            seed=seed,
+            arrival_mode="alibaba",
+            machine_params=MachineParams().with_pes(pes),
+        )
+        result = run_experiment(services, config)
+        p99[pes] = result.mean_p99_ns()
+        total = result.total_completed()
+        fell_back = sum(s.fallback_requests for s in result.services.values())
+        fallback_fraction[pes] = fell_back / total if total else 0.0
+
+    rows = [
+        [
+            f"{pes} PEs",
+            p99[pes] / 1000.0,
+            f"{-pct_reduction(p99[8], p99[pes]):+.1f}%",
+            f"{fallback_fraction[pes] * 100:.1f}%",
+        ]
+        for pes in PE_COUNTS
+    ]
+    table = format_table(
+        ["Config", "mean P99 (us)", "vs 8 PEs", "fallback requests"],
+        rows,
+        title="Fig 19: tail latency vs PEs per accelerator "
+              "(paper: 4 PEs +20.0%, 2 PEs +35.7%)",
+    )
+    return {
+        "p99_ns": p99,
+        "fallback_fraction": fallback_fraction,
+        "increase_4_pct": -pct_reduction(p99[8], p99[4]),
+        "increase_2_pct": -pct_reduction(p99[8], p99[2]),
+        "table": table,
+    }

@@ -1,0 +1,61 @@
+"""Figure 20: tail latency across processor generations.
+
+Non-acc, RELIEF and AccelFlow on Haswell / Skylake / Ice Lake /
+Sapphire Rapids / Emerald Rapids core models. Newer cores speed
+AppLogic more than tax, so the relative advantage of AccelFlow *grows*
+with newer CPUs: the paper's AccelFlow-over-RELIEF P99 reduction rises
+from 68.8% (Ice Lake) to 71.7% (Emerald Rapids).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..hw import MachineParams, PROCESSOR_GENERATIONS
+from ..server import RunConfig, run_experiment
+from ..workloads import social_network_services
+from .common import format_table, pct_reduction, requests_for
+
+__all__ = ["run", "GENERATIONS", "ARCHITECTURES"]
+
+GENERATIONS = ["haswell", "skylake", "icelake", "sapphire-rapids", "emerald-rapids"]
+ARCHITECTURES = ["non-acc", "relief", "accelflow"]
+
+
+def run(scale: str = "quick", seed: int = 0) -> Dict:
+    requests = requests_for(scale)
+    services = social_network_services()
+    p99: Dict[str, Dict[str, float]] = {arch: {} for arch in ARCHITECTURES}
+    for generation in GENERATIONS:
+        params = MachineParams().with_generation(generation)
+        for arch in ARCHITECTURES:
+            config = RunConfig(
+                architecture=arch,
+                requests_per_service=requests,
+                seed=seed,
+                arrival_mode="alibaba",
+                machine_params=params,
+            )
+            result = run_experiment(services, config)
+            p99[arch][generation] = result.mean_p99_ns()
+
+    rows = []
+    for arch in ARCHITECTURES:
+        rows.append(
+            [arch] + [p99[arch][gen] / 1000.0 for gen in GENERATIONS]
+        )
+    reductions = {
+        gen: pct_reduction(p99["relief"][gen], p99["accelflow"][gen])
+        for gen in GENERATIONS
+    }
+    rows.append(
+        ["AccelFlow vs RELIEF"]
+        + [f"-{reductions[gen]:.1f}%" for gen in GENERATIONS]
+    )
+    table = format_table(
+        ["Architecture"] + GENERATIONS,
+        rows,
+        title="Fig 20: mean P99 (us) across processor generations "
+              "(paper: reduction grows 68.8% -> 71.7%)",
+    )
+    return {"p99_ns": p99, "reductions_vs_relief": reductions, "table": table}

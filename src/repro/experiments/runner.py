@@ -1,0 +1,65 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    accelflow-repro list
+    accelflow-repro fig11 --scale quick --seed 0
+    accelflow-repro all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS, SCALES
+
+__all__ = ["main"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="accelflow-repro",
+        description="Reproduce the tables and figures of the AccelFlow paper "
+        "(HPCA 2026).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig11, table4, char-glue), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=sorted(SCALES),
+        help="run size: smoke (seconds), quick (default), full (minutes)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)}; "
+            f"known: {', '.join(EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.time() - start
+        print(result["table"])
+        print(f"\n[{name} completed in {elapsed:.1f}s at scale={args.scale}]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,248 @@
+"""The accelerator model: queues, input dispatcher, PEs, output queue.
+
+Mirrors Section IV-A / Figure 6 of the paper:
+
+* a 64-entry SRAM **input queue** with an **overflow area** in memory,
+* an **input dispatcher** FSM that pairs ready entries with free PEs
+  (FIFO by default; priority or deadline ordering per Section IV-C),
+* 8 **PEs**, each with a scratchpad, executing non-preemptively at the
+  accelerator's literature speedup over a CPU core,
+* a 64-entry **output queue** into which PEs deposit results. Whoever
+  orchestrates (the AccelFlow output dispatcher, a hardware manager, or
+  a CPU core) consumes entries from there; the accelerator exposes a
+  serialized ``output_dispatcher`` resource modelling that FSM.
+
+The accelerator never knows about traces: it accepts
+:class:`~repro.hw.ops.QueueEntry` items and triggers their ``done``
+events. Chaining policy lives in :mod:`repro.orchestration`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from ..sim import (
+    Environment,
+    PriorityItem,
+    PriorityStore,
+    Resource,
+    Store,
+    TimeWeightedValue,
+)
+from .ops import QueueEntry
+from .params import AcceleratorKind, MachineParams
+from .tlb import TlbModel
+
+__all__ = ["Accelerator", "QueuePolicy"]
+
+
+class QueuePolicy:
+    """Input-queue ordering disciplines (Section IV-C / V.1)."""
+
+    FIFO = "fifo"
+    PRIORITY = "priority"
+    EDF = "edf"
+
+    ALL = (FIFO, PRIORITY, EDF)
+
+
+class _ProcessingElement:
+    """One PE: tracks the tenant whose state is in its scratchpad."""
+
+    __slots__ = ("index", "last_tenant", "busy_ns", "ops")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.last_tenant: Optional[int] = None
+        self.busy_ns = 0.0
+        self.ops = 0
+
+
+class Accelerator:
+    """One accelerator instance (e.g. the TCP accelerator of a server)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        kind: AcceleratorKind,
+        params: MachineParams,
+        tlb: TlbModel,
+        policy: str = QueuePolicy.FIFO,
+    ):
+        if policy not in QueuePolicy.ALL:
+            raise ValueError(f"unknown queue policy {policy!r}")
+        self.env = env
+        self.kind = kind
+        self.params = params
+        self.accel_params = params.accelerator
+        self.speedup = params.speedup_of(kind)
+        self.tlb = tlb
+        self.policy = policy
+
+        if policy == QueuePolicy.FIFO:
+            self.input_queue: Store = Store(
+                env, capacity=self.accel_params.input_queue_entries
+            )
+        else:
+            self.input_queue = PriorityStore(
+                env, capacity=self.accel_params.input_queue_entries
+            )
+        self.overflow: Store = Store(env, capacity=self.accel_params.overflow_entries)
+        self.output_queue: Store = Store(
+            env, capacity=self.accel_params.output_queue_entries
+        )
+        #: The output-dispatcher FSM: one entry processed at a time.
+        self.output_dispatcher = Resource(env, capacity=1)
+
+        self.pes: List[_ProcessingElement] = [
+            _ProcessingElement(i) for i in range(self.accel_params.pes)
+        ]
+        self._free_pes: Store = Store(env)
+        for pe in self.pes:
+            self._free_pes.try_put(pe)
+        self._seq = itertools.count()
+        self._busy_pes = TimeWeightedValue(0.0, env.now)
+        #: Optional process factory run by a PE after depositing its
+        #: output and *before* freeing itself. Centralized orchestrators
+        #: (RELIEF) install their job-retirement round trip here: the PE
+        #: sits idle until the manager has processed the completion, the
+        #: key throughput cost of centralized scheduling. The time spent
+        #: is recorded in ``entry.context["retire_ns"]``.
+        self.retire_hook = None
+
+        # Statistics.
+        self.ops_completed = 0
+        self.ops_rejected = 0
+        self.overflow_admissions = 0
+        self.tenant_wipes = 0
+        self.deadline_violations = 0
+        self.queue_waits: List[float] = []
+        self.busy_ns = 0.0
+
+        env.process(self._input_dispatcher(), name=f"in-dispatch-{kind.value}")
+
+    # -- admission -----------------------------------------------------------
+    def try_enqueue(self, entry: QueueEntry) -> bool:
+        """Admit ``entry`` into the input queue or its overflow area.
+
+        Returns False when both are full, in which case the caller must
+        fall back to CPU execution (Section IV-A, deadlock avoidance).
+        """
+        if self.input_queue.try_put(self._wrap(entry)):
+            return True
+        if self.overflow.try_put(entry):
+            entry.from_overflow = True
+            self.overflow_admissions += 1
+            return True
+        self.ops_rejected += 1
+        return False
+
+    @property
+    def input_occupancy(self) -> int:
+        return len(self.input_queue) + len(self.overflow)
+
+    def _wrap(self, entry: QueueEntry):
+        if self.policy == QueuePolicy.FIFO:
+            return entry
+        if self.policy == QueuePolicy.PRIORITY:
+            key = (entry.priority, next(self._seq))
+        else:  # EDF: earliest absolute deadline first; no-SLO entries last.
+            deadline = entry.deadline_ns if entry.deadline_ns is not None else float("inf")
+            key = (deadline, next(self._seq))
+        return PriorityItem(key, entry)
+
+    def _unwrap(self, item) -> QueueEntry:
+        if self.policy == QueuePolicy.FIFO:
+            return item
+        return item.item
+
+    # -- input dispatcher FSM -------------------------------------------------
+    def _input_dispatcher(self):
+        env = self.env
+        while True:
+            item = yield self.input_queue.get()
+            entry = self._unwrap(item)
+            # A slot freed up: promote one overflow entry into the queue
+            # (the dispatcher follows the Overflow Pointer, Section V.1).
+            if self.overflow.items and not self.input_queue.is_full:
+                spilled = self.overflow.try_get()
+                self.input_queue.try_put(self._wrap(spilled))
+            pe = yield self._free_pes.get()
+            env.process(
+                self._execute(pe, entry), name=f"{self.kind.value}-pe{pe.index}"
+            )
+
+    def _execute(self, pe: _ProcessingElement, entry: QueueEntry):
+        env = self.env
+        entry.dispatch_time = env.now
+        self.queue_waits.append(entry.queue_wait_ns)
+        if entry.deadline_ns is not None and env.now > entry.deadline_ns:
+            self.deadline_violations += 1
+        self._busy_pes.add(1.0, env.now)
+        start = env.now
+        try:
+            # Move the entry's data into the PE scratchpad; spilled bytes
+            # come from the memory hierarchy via the Memory Pointer.
+            yield env.timeout(
+                self.accel_params.scratchpad_transfer_ns(entry.op.data_in)
+                + self.accel_params.memory_fetch_ns(entry.op.data_in)
+            )
+            if pe.last_tenant is not None and pe.last_tenant != entry.tenant:
+                self.tenant_wipes += 1
+                yield env.timeout(self.accel_params.scratchpad_wipe_ns)
+            pe.last_tenant = entry.tenant
+            yield env.process(self.tlb.translate())
+            yield env.timeout(entry.op.accel_time_ns(self.speedup))
+            # Deposit the result into the output queue (blocks on a full
+            # queue: backpressure reaches the PE, which is non-preemptible
+            # but cannot retire).
+            yield env.timeout(
+                self.accel_params.scratchpad_transfer_ns(entry.op.data_out)
+            )
+            yield self.output_queue.put(entry)
+            if self.retire_hook is not None:
+                retire_start = env.now
+                yield env.process(self.retire_hook(entry))
+                entry.context["retire_ns"] = env.now - retire_start
+        finally:
+            elapsed = env.now - start
+            pe.busy_ns += elapsed
+            pe.ops += 1
+            self.busy_ns += elapsed
+            self._busy_pes.add(-1.0, env.now)
+        entry.complete_time = env.now
+        self.ops_completed += 1
+        self._free_pes.try_put(pe)
+        entry.done.succeed(entry)
+
+    def consume_output(self, entry: QueueEntry) -> bool:
+        """Retire ``entry`` from the output queue.
+
+        Called by whoever plays the output-dispatcher role once the
+        entry's results have been moved onward. Frees the slot, letting
+        a PE blocked on a full output queue deposit its result.
+        """
+        return self.output_queue.remove(entry)
+
+    # -- statistics -------------------------------------------------------------
+    def utilization(self) -> float:
+        """Average fraction of PEs busy over the run."""
+        return self._busy_pes.average(self.env.now) / len(self.pes)
+
+    def mean_queue_wait_ns(self) -> float:
+        if not self.queue_waits:
+            return 0.0
+        return sum(self.queue_waits) / len(self.queue_waits)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "ops_completed": float(self.ops_completed),
+            "ops_rejected": float(self.ops_rejected),
+            "overflow_admissions": float(self.overflow_admissions),
+            "tenant_wipes": float(self.tenant_wipes),
+            "deadline_violations": float(self.deadline_violations),
+            "utilization": self.utilization(),
+            "mean_queue_wait_ns": self.mean_queue_wait_ns(),
+            "busy_ns": self.busy_ns,
+        }

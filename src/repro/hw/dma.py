@@ -1,0 +1,70 @@
+"""A-DMA engines: the shared pool that moves queue entries around.
+
+AccelFlow output dispatchers (and cores submitting payloads) grab a free
+engine from this pool, which then drives the transfer over the
+:class:`~repro.hw.noc.Network`. The pool size (10 in the paper's Table
+III) bounds the number of concurrent inter-accelerator moves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import Environment, Resource, TimeWeightedValue
+from .noc import Endpoint, Network
+
+__all__ = ["DmaPool"]
+
+
+class DmaPool:
+    """Pool of A-DMA engines shared by all accelerators of a server."""
+
+    #: Fixed cost of programming an engine with a descriptor.
+    PROGRAM_NS = 10.0
+
+    def __init__(self, env: Environment, network: Network, engines: int = 10):
+        if engines <= 0:
+            raise ValueError(f"engines must be positive, got {engines}")
+        self.env = env
+        self.network = network
+        self.engines = engines
+        self._pool = Resource(env, capacity=engines)
+        self.transfers = 0
+        self.bytes_moved = 0
+        self._busy = TimeWeightedValue(0.0, env.now)
+        self._busy_ns = 0.0
+
+    @property
+    def in_use(self) -> int:
+        return self._pool.count
+
+    def transfer(self, src: Endpoint, dst: Endpoint, nbytes: int):
+        """Process: move ``nbytes`` using one engine (waits if all busy)."""
+        env = self.env
+        with self._pool.request() as req:
+            yield req
+            start = env.now
+            self._busy.add(1.0, start)
+            try:
+                yield env.timeout(self.PROGRAM_NS)
+                yield env.process(self.network.transfer(src, dst, nbytes))
+            finally:
+                self._busy.add(-1.0, env.now)
+                self._busy_ns += env.now - start
+        self.transfers += 1
+        self.bytes_moved += nbytes
+
+    def estimate_ns(self, src: Endpoint, dst: Endpoint, nbytes: int) -> float:
+        return self.PROGRAM_NS + self.network.estimate_ns(src, dst, nbytes)
+
+    def utilization(self) -> float:
+        """Average fraction of engines busy over the run."""
+        return self._busy.average(self.env.now) / self.engines
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "transfers": float(self.transfers),
+            "bytes_moved": float(self.bytes_moved),
+            "utilization": self.utilization(),
+            "busy_ns": self._busy_ns,
+        }

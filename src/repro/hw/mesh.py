@@ -1,0 +1,88 @@
+"""Coordinate-level mesh topology (opt-in NoC fidelity).
+
+The default network model uses the average hop count of Table III's 2D
+mesh. This module places every agent of a chiplet on an actual grid and
+routes XY, so each source/destination pair pays its true Manhattan
+distance — end-to-end latencies then depend on *which* accelerators talk
+(e.g. Ser -> TCP vs Ser -> Encr), as they would on silicon.
+
+Enable with ``NocParams(detailed_mesh=True)``; the placement puts the
+mesh stop of the chiplet's external link at the grid centre, and
+accelerators around it in enum order, which keeps the average distance
+close to the default model's ``mesh_avg_hops``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from .params import AcceleratorKind, ChipletLayout
+
+__all__ = ["MeshTopology", "PORTAL"]
+
+#: The mesh stop wired to the chiplet's external link (and, on chiplet
+#: 0, to the core complex / memory controllers).
+PORTAL = "portal"
+
+Coordinate = Tuple[int, int]
+
+
+class MeshTopology:
+    """Grid placement and XY-routing distances for one chiplet."""
+
+    def __init__(self, members: List):
+        self.members = list(members)
+        side = max(1, math.ceil(math.sqrt(len(members) + 1)))
+        self.side = side
+        self._coords: Dict[object, Coordinate] = {}
+        centre = (side // 2, side // 2)
+        self._coords[PORTAL] = centre
+        spots = [
+            (x, y)
+            for y in range(side)
+            for x in range(side)
+            if (x, y) != centre
+        ]
+        for member, spot in zip(self.members, spots):
+            self._coords[member] = spot
+        if len(self._coords) < len(members) + 1:
+            raise ValueError(
+                f"grid {side}x{side} cannot place {len(members)} members"
+            )
+
+    def coordinate_of(self, member) -> Coordinate:
+        try:
+            return self._coords[member]
+        except KeyError:
+            raise KeyError(f"{member!r} is not on this mesh") from None
+
+    def hops(self, src, dst) -> int:
+        """XY-routed Manhattan distance between two members."""
+        sx, sy = self.coordinate_of(src)
+        dx, dy = self.coordinate_of(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def average_hops(self) -> float:
+        """Mean pairwise distance over distinct member pairs."""
+        members = list(self._coords)
+        total = 0
+        pairs = 0
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                total += self.hops(a, b)
+                pairs += 1
+        return total / pairs if pairs else 0.0
+
+
+def build_chiplet_meshes(layout: ChipletLayout) -> Dict[int, MeshTopology]:
+    """One mesh per chiplet, populated with its accelerators."""
+    per_chiplet: Dict[int, List[AcceleratorKind]] = {}
+    for kind in AcceleratorKind:
+        per_chiplet.setdefault(layout.chiplet_of(kind), []).append(kind)
+    for chiplet in range(layout.chiplet_count):
+        per_chiplet.setdefault(chiplet, [])
+    return {
+        chiplet: MeshTopology(sorted(members, key=lambda k: k.value))
+        for chiplet, members in per_chiplet.items()
+    }

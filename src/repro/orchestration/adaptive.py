@@ -1,0 +1,73 @@
+"""Load-adaptive AccelFlow (the paper's Section IX future work).
+
+AccelFlow falls back to software only when an accelerator is *full*
+(queue + overflow exhausted). This variant makes the decision
+economically and per operation, using real-time load: before enqueuing,
+the core projects the accelerator's queueing delay from its current
+input occupancy; if the projected wait plus accelerated compute exceeds
+plain software execution, the operation runs on a core instead. Under
+light load it behaves exactly like AccelFlow; under accelerator
+saturation it sheds load to idle cores instead of letting queues build.
+"""
+
+from __future__ import annotations
+
+from ..hw.ops import QueueEntry
+from ..workloads.request import Request
+from .accelflow import AccelFlowOrchestrator
+
+__all__ = ["AdaptiveAccelFlowOrchestrator"]
+
+
+class AdaptiveAccelFlowOrchestrator(AccelFlowOrchestrator):
+    """AccelFlow with per-operation software bypass under congestion."""
+
+    name = "accelflow-adaptive"
+
+    #: Bypass when projected accelerator completion exceeds this multiple
+    #: of the software execution time (>1 biases toward accelerators,
+    #: which also saves core energy).
+    BYPASS_THRESHOLD = 1.0
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.bypasses = 0
+        self.accelerated_ops = 0
+
+    def run_step(self, request: Request, step):
+        accel = self.hardware.accel(step.kind)
+        op = self.cost_model.op_for(request.spec, step.kind, request.wire_size)
+        pes = len(accel.pes)
+        accel_compute = op.accel_time_ns(accel.speedup)
+        projected_wait = accel.input_occupancy * accel_compute / pes
+        if (
+            projected_wait + accel_compute
+            > op.cpu_time_ns * self.BYPASS_THRESHOLD
+        ):
+            # Cheaper in software right now: run the section on a core.
+            self.bypasses += 1
+            yield from self._run_on_core(request, op.cpu_time_ns)
+            entry = QueueEntry(self.env, op, tenant=request.tenant)
+            entry.dispatch_time = entry.enqueue_time
+            entry.complete_time = self.env.now
+            entry.context["software"] = True
+            entry.context["accel"] = accel
+            return entry
+        self.accelerated_ops += 1
+        entry = yield from super().run_step(request, step)
+        return entry
+
+    def after_step(self, request, step, entry, next_step):
+        if entry.context.get("software"):
+            # The core already holds the data: branches, transformations
+            # and hand-off to the next accelerator are inline code.
+            return
+        yield from super().after_step(request, step, entry, next_step)
+
+    def stats(self):
+        stats = super().stats()
+        stats["bypasses"] = float(self.bypasses)
+        stats["accelerated_ops"] = float(self.accelerated_ops)
+        total = self.bypasses + self.accelerated_ops
+        stats["bypass_fraction"] = self.bypasses / total if total else 0.0
+        return stats

@@ -1,0 +1,394 @@
+"""Orchestrator base: walks service paths and trace chains.
+
+Every architecture executes the same service paths (Table IV) over the
+same hardware; what differs is *who coordinates* the hand-off between
+accelerators and what that costs. The base class owns the shared walk —
+CPU segments, trace chains across ATM links, remote-response waits,
+parallel fan-out, CPU fallback, tenant throttling — and defers three
+hooks to subclasses:
+
+* :meth:`submit_overhead` — cost of initiating a chain from a core,
+* :meth:`after_step` — what happens when an accelerator finishes one
+  operation (the architectural crux),
+* :meth:`run_step` — how an operation is admitted to an accelerator.
+
+Latency is attributed to the request's component buckets throughout
+(Figure 17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.glue import GlueCostModel
+from ..core.registry import TraceRegistry
+from ..core.tenancy import TenantManager
+from ..core.trace import ResolvedPath, ResolvedStep
+from ..hw.ensemble import ServerHardware
+from ..hw.noc import CPU_ENDPOINT
+from ..hw.ops import QueueEntry
+from ..hw.params import AcceleratorKind
+from ..workloads.request import Buckets, Request
+from ..sim import Environment, RandomStreams
+from ..workloads.calibration import OrchestrationCosts, RemoteLatencies
+from ..workloads.costs import CostModel
+from ..workloads.spec import (
+    CpuSegment,
+    ParallelInvocations,
+    ServiceSpec,
+    TraceInvocation,
+)
+
+__all__ = ["Orchestrator", "StepOutcome", "REMOTE_DEPENDENCY_OF_TRACE"]
+
+#: Which remote dependency a receive-trace waits on (median pick key).
+REMOTE_DEPENDENCY_OF_TRACE: Dict[str, str] = {
+    "T5": "db_cache",
+    "T6": "database",
+    "T7": "db_cache",
+    "T10": "nested_rpc",
+    "T12": "http",
+}
+
+#: Remote dependencies (caches, databases, peer services) run on servers
+#: with the same architecture, so their response times scale with it.
+#: These factors are the measured unloaded-latency ratios of a short
+#: service on each architecture relative to the software-only baseline
+#: (the RemoteLatencies medians describe non-accelerated responders).
+REMOTE_ARCHITECTURE_SCALE: Dict[str, float] = {
+    "non-acc": 1.00,
+    "cpu-centric": 0.42,
+    "relief": 0.37,
+    "per-acc-type-q": 0.37,
+    "direct": 0.34,
+    "cntrflow": 0.32,
+    "cohort": 0.33,
+    "accelflow": 0.29,
+    "accelflow-adaptive": 0.29,
+    "ideal": 0.28,
+}
+
+
+class StepOutcome:
+    OK = "ok"
+    FALLBACK = "fallback"
+
+
+class Orchestrator:
+    """Base orchestrator; subclasses implement the coordination costs."""
+
+    name = "base"
+    #: False for the software-only architecture (Non-acc).
+    uses_accelerators = True
+
+    def __init__(
+        self,
+        env: Environment,
+        hardware: ServerHardware,
+        registry: TraceRegistry,
+        cost_model: CostModel,
+        streams: RandomStreams,
+        orch_costs: Optional[OrchestrationCosts] = None,
+        remotes: Optional[RemoteLatencies] = None,
+    ):
+        self.env = env
+        self.hardware = hardware
+        self.registry = registry
+        self.cost_model = cost_model
+        self.streams = streams
+        self.costs = orch_costs or OrchestrationCosts()
+        self.remotes = remotes or RemoteLatencies()
+        self.glue = GlueCostModel(hardware.params.cpu.ghz)
+        self.tenants = TenantManager(hardware.params.tenant_trace_limit)
+        self._remote_stream = streams.stream(f"remote/{self.name}")
+        self.fallbacks = 0
+        self.tcp_timeouts = 0
+        self.chains_executed = 0
+        self._tenant_waiters: Dict[int, List] = {}
+
+    # ------------------------------------------------------------------
+    # Request-level walk
+    # ------------------------------------------------------------------
+    def execute_request(self, request: Request):
+        """Process: run one request through its service path."""
+        env = self.env
+        spec = request.spec
+        for step in spec.path:
+            if isinstance(step, CpuSegment):
+                duration = self.cost_model.cpu_segment_ns(spec, step)
+                yield from self._run_on_core(request, duration)
+            elif isinstance(step, TraceInvocation):
+                yield env.process(self.run_chain(request, step))
+            elif isinstance(step, ParallelInvocations):
+                chains = [
+                    env.process(self.run_chain(request, inv))
+                    for inv in step.invocations
+                ]
+                yield env.all_of(chains)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown path step {step!r}")
+            if request.error or request.timed_out:
+                break
+        request.complete_ns = env.now
+
+    # ------------------------------------------------------------------
+    # Chain-level walk (entry trace + ATM links + remote waits)
+    # ------------------------------------------------------------------
+    def run_chain(self, request: Request, invocation: TraceInvocation):
+        """Process: run one chain with this request's payload fields."""
+        state = dict(request.state)
+        state.update(invocation.forced)
+        yield from self._chain(request, invocation.entry, state, first=True)
+
+    def _chain(self, request: Request, name: str, state: Dict[str, bool], first: bool):
+        env = self.env
+        iteration = 0
+        while name:
+            trace = self.registry.get(name)
+            path = trace.resolve(state)
+            self.chains_executed += 1
+            initiated_by_core = (
+                iteration == 0 and first and path.steps
+                and path.steps[0].kind is not AcceleratorKind.TCP
+            )
+            outcome = yield from self.execute_path(
+                request, path, state, initiated_by_core=initiated_by_core
+            )
+            if path.error:
+                request.error = True
+                return
+            del outcome  # fallback still continues the chain from the CPU
+            next_name = path.next_trace
+            if next_name:
+                next_trace = self.registry.get(next_name)
+                if self._is_remote_boundary(path, next_trace):
+                    ok = yield from self._wait_remote(request, next_name)
+                    if not ok:
+                        return
+            name = next_name
+            first = False
+            iteration += 1
+
+    def _is_remote_boundary(self, path: ResolvedPath, next_trace) -> bool:
+        """A TCP send followed by a TCP receive crosses the network."""
+        if not path.steps:
+            return False
+        return (
+            path.steps[-1].kind is AcceleratorKind.TCP
+            and next_trace.first_kind is AcceleratorKind.TCP
+        )
+
+    def _wait_remote(self, request: Request, next_name: str) -> bool:
+        """Wait for the remote response; False on TCP timeout."""
+        env = self.env
+        if self._remote_stream.bernoulli(self.remotes.loss_probability):
+            # The response never arrives: the TCP input-queue entry times
+            # out and the core is notified (Section IV-B).
+            yield env.timeout(self.costs.tcp_response_timeout_ns)
+            request.timed_out = True
+            request.error = True
+            self.tcp_timeouts += 1
+            return False
+        dependency = REMOTE_DEPENDENCY_OF_TRACE.get(next_name, "nested_rpc")
+        median = getattr(self.remotes, f"{dependency}_ns")
+        median *= REMOTE_ARCHITECTURE_SCALE.get(self.name, 1.0)
+        delay = self._remote_stream.lognormal_median(median, self.remotes.sigma)
+        yield env.timeout(delay)
+        request.add(Buckets.REMOTE, delay)
+        return True
+
+    # ------------------------------------------------------------------
+    # Path-level walk (one resolved trace)
+    # ------------------------------------------------------------------
+    def execute_path(
+        self,
+        request: Request,
+        path: ResolvedPath,
+        state: Dict[str, bool],
+        initiated_by_core: bool = False,
+    ):
+        env = self.env
+        steps = path.steps
+        if not steps:
+            return StepOutcome.OK
+        # Per-tenant trace accounting (Section IV-D): a trace may only
+        # start while the tenant is below its concurrent-trace limit N.
+        wait_start = env.now
+        yield from self._acquire_tenant_slot(request.tenant)
+        request.add(Buckets.QUEUE, env.now - wait_start)
+        try:
+            if initiated_by_core:
+                yield from self.submit_overhead(request, path)
+            for index, step in enumerate(steps):
+                entry = yield from self.run_step(request, step)
+                if entry is None:
+                    yield from self.cpu_fallback(request, steps[index:], state)
+                    return StepOutcome.FALLBACK
+                request.accelerator_ops += 1
+                next_step = steps[index + 1] if index + 1 < len(steps) else None
+                yield from self.after_step(request, step, entry, next_step)
+                # The output dispatcher has moved the entry onward: free
+                # its output-queue slot (unblocks a backpressured PE).
+                entry.context["accel"].consume_output(entry)
+        finally:
+            self._release_tenant_slot(request.tenant)
+        # Parallel fan-out: arms start once the forking step is done
+        # (each arm's traces claim their own tenant slots).
+        last = steps[-1]
+        if last.fanout:
+            arms = [
+                env.process(self._run_arm(request, arm, state))
+                for arm in last.fanout
+            ]
+            yield env.all_of(arms)
+        return StepOutcome.OK
+
+    def _run_arm(self, request: Request, arm: ResolvedPath, state: Dict[str, bool]):
+        """Process: one parallel arm, following its own chain links."""
+        yield from self.execute_path(request, arm, state)
+        if arm.next_trace:
+            next_trace = self.registry.get(arm.next_trace)
+            if self._is_remote_boundary(arm, next_trace):
+                ok = yield from self._wait_remote(request, arm.next_trace)
+                if not ok:
+                    return
+            yield from self._chain(request, arm.next_trace, state, first=False)
+
+    # ------------------------------------------------------------------
+    # Core execution (deadline-aware when the request carries an SLO)
+    # ------------------------------------------------------------------
+    def _core_priority(self, request: Request):
+        """Core-queue priority: requests closer to their deadline first
+        (Section IV-C policy); None means the default priority."""
+        if request.slo_deadline_ns is None:
+            return None
+        # Strictly between the interrupt priority (0) and normal (10).
+        return 1.0 + request.slo_deadline_ns * 1e-12
+
+    def _run_on_core(self, request: Request, duration_ns: float):
+        """Run ``duration_ns`` of this request's work on a core,
+        charging busy time to CPU and any wait to the queue bucket."""
+        env = self.env
+        start = env.now
+        yield env.process(
+            self.hardware.cores.execute(
+                duration_ns, priority=self._core_priority(request)
+            )
+        )
+        request.add(Buckets.CPU, duration_ns)
+        request.add(Buckets.QUEUE, env.now - start - duration_ns)
+
+    # ------------------------------------------------------------------
+    # Tenant slot waiting (event-based, no polling)
+    # ------------------------------------------------------------------
+    def _acquire_tenant_slot(self, tenant: int):
+        while not self.tenants.try_start(tenant):
+            gate = self.env.event()
+            self._tenant_waiters.setdefault(tenant, []).append(gate)
+            yield gate
+
+    def _release_tenant_slot(self, tenant: int) -> None:
+        self.tenants.end(tenant)
+        waiters = self._tenant_waiters.get(tenant)
+        if waiters:
+            waiters.pop(0).succeed()
+
+    # ------------------------------------------------------------------
+    # Hooks (overridden per architecture)
+    # ------------------------------------------------------------------
+    def submit_overhead(self, request: Request, path: ResolvedPath):
+        """Core-side cost of launching a chain (user-mode Enqueue + DMA)."""
+        cost = self.hardware.params.cpu.enqueue_ns
+        yield self.env.timeout(cost)
+        request.add(Buckets.ORCHESTRATION, cost)
+
+    def run_step(self, request: Request, step: ResolvedStep):
+        """Admit one operation and wait for its PE to finish.
+
+        Returns the completed :class:`QueueEntry`, or None when the
+        accelerator (queue + overflow) is full after retries and the
+        trace must fall back to the CPU.
+        """
+        env = self.env
+        op = self.cost_model.op_for(request.spec, step.kind, request.wire_size)
+        entry = QueueEntry(
+            env,
+            op,
+            tenant=request.tenant,
+            priority=request.priority,
+            deadline_ns=request.slo_deadline_ns,
+        )
+        # Each attempt targets the least-occupied instance of the type
+        # (a failing Enqueue "retries with another accelerator of the
+        # same type", Section IV-A).
+        accel = self.hardware.accel(step.kind)
+        retries = 0
+        while not accel.try_enqueue(entry):
+            retries += 1
+            if retries > self.hardware.params.cpu.enqueue_max_retries:
+                self.fallbacks += 1
+                request.fell_back = True
+                return None
+            yield env.timeout(200.0)
+            accel = self.hardware.accel(step.kind)
+        entry.context["accel"] = accel
+        yield entry.done
+        request.add(Buckets.QUEUE, entry.queue_wait_ns)
+        retire_ns = entry.context.get("retire_ns", 0.0)
+        request.add(Buckets.ACCEL, entry.service_ns - retire_ns)
+        request.add(Buckets.ORCHESTRATION, retire_ns)
+        return entry
+
+    def after_step(
+        self,
+        request: Request,
+        step: ResolvedStep,
+        entry: QueueEntry,
+        next_step: Optional[ResolvedStep],
+    ):
+        """Architecture-specific completion handling."""
+        raise NotImplementedError
+
+    def cpu_fallback(
+        self, request: Request, steps: List[ResolvedStep], state: Dict[str, bool]
+    ):
+        """Run the remaining operations of a trace in software."""
+        kinds = [s.kind for s in steps]
+        for step in steps:
+            for arm in step.fanout:
+                kinds.extend(k for k in arm.kinds())
+        duration = self.cost_model.software_chain_ns(
+            request.spec, kinds, request.wire_size
+        )
+        yield from self._run_on_core(request, duration)
+
+    # ------------------------------------------------------------------
+    # Shared cost helpers
+    # ------------------------------------------------------------------
+    def dma_to_next(self, request: Request, step: ResolvedStep, entry: QueueEntry,
+                    next_step: ResolvedStep):
+        """Move the output payload into the next accelerator's queue."""
+        start = self.env.now
+        yield self.env.process(
+            self.hardware.dma.transfer(step.kind, next_step.kind, entry.op.data_out)
+        )
+        request.add(Buckets.COMMUNICATION, self.env.now - start)
+
+    def deliver_result(self, request: Request, step: ResolvedStep, entry: QueueEntry):
+        """DMA the final payload to memory and notify the core."""
+        start = self.env.now
+        yield self.env.process(
+            self.hardware.dma.transfer(step.kind, CPU_ENDPOINT, entry.op.data_out)
+        )
+        notify_ns = self.hardware.cores.notification_ns()
+        yield self.env.timeout(notify_ns)
+        request.add(Buckets.COMMUNICATION, self.env.now - start)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "fallbacks": float(self.fallbacks),
+            "tcp_timeouts": float(self.tcp_timeouts),
+            "chains_executed": float(self.chains_executed),
+            "glue": self.glue.stats(),
+            "tenants": self.tenants.stats(),
+        }

@@ -1,0 +1,113 @@
+"""Cohort-style orchestration (ASPLOS'23 [82] baseline).
+
+Cohort statically links pairs of accelerators that frequently execute
+back to back; within a linked pair the hand-off flows through a
+shared-memory software queue with no CPU involvement. Everywhere else —
+unlinked transitions, branch conditions, data transformations, chain
+completion — a CPU core shepherds the request by polling shared-memory
+completion queues (cheaper than an interrupt, but still core work).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Tuple
+
+from ..core.trace import ResolvedStep
+from ..hw.ops import QueueEntry
+from ..hw.params import AcceleratorKind
+from ..sim import Resource
+from ..workloads.request import Buckets, Request
+from .base import Orchestrator
+
+__all__ = ["CohortOrchestrator", "DEFAULT_LINKED_PAIRS"]
+
+_K = AcceleratorKind
+
+#: Statically linked pairs: Cohort links only a few accelerators that
+#: most frequently execute back to back (Table I): the receive prefix
+#: TCP->Decr and the send suffix Encr->TCP.
+DEFAULT_LINKED_PAIRS: FrozenSet[Tuple[AcceleratorKind, AcceleratorKind]] = frozenset(
+    {
+        (_K.TCP, _K.DECR),
+        (_K.ENCR, _K.TCP),
+    }
+)
+
+
+class CohortOrchestrator(Orchestrator):
+    """Statically paired accelerators; cores shepherd the rest.
+
+    Cohort's software framework services its shared-memory queues with a
+    small number of dedicated spin-polling threads; every unlinked
+    hand-off must be picked up by one of them. Those threads are the
+    scheme's scalability limit: bursts saturate them long before the
+    accelerators or the general core pool fill up.
+    """
+
+    name = "cohort"
+    POLLING_THREADS = 2
+
+    def __init__(self, *args, linked_pairs=None, polling_threads=None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.linked_pairs = (
+            frozenset(linked_pairs) if linked_pairs is not None else DEFAULT_LINKED_PAIRS
+        )
+        self.linked_hops = 0
+        self.cpu_hops = 0
+        self._pollers = Resource(
+            self.env, capacity=polling_threads or self.POLLING_THREADS
+        )
+
+    def _is_linked(self, step: ResolvedStep, next_step: ResolvedStep) -> bool:
+        """Pair hand-offs only work for plain transitions: any branch or
+        transform needs software, breaking the static link."""
+        if step.branches_after or step.transforms_after or step.atm_read_after:
+            return False
+        return (step.kind, next_step.kind) in self.linked_pairs
+
+    def after_step(
+        self,
+        request: Request,
+        step: ResolvedStep,
+        entry: QueueEntry,
+        next_step: Optional[ResolvedStep],
+    ):
+        env = self.env
+        if next_step is not None and self._is_linked(step, next_step):
+            self.linked_hops += 1
+            yield env.timeout(self.costs.cohort_pair_hop_ns)
+            request.add(Buckets.ORCHESTRATION, self.costs.cohort_pair_hop_ns)
+            yield from self.dma_to_next(request, step, entry, next_step)
+            return
+        # Unlinked: a core polls the completion out of a shared-memory
+        # queue and drives the next submission (plus any software branch
+        # resolution / data transformation). The completion first waits
+        # for the polling thread to come around.
+        self.cpu_hops += 1
+        shepherd_ns = self.costs.cohort_cpu_hop_ns
+        shepherd_ns += step.branches_after * self.costs.cpu_branch_resolution_ns
+        if step.transforms_after:
+            kb = entry.op.data_out / 1024.0
+            shepherd_ns += (
+                step.transforms_after * self.costs.cpu_transform_ns_per_kb * kb
+            )
+        # The fixed poll delay is the average time until a polling
+        # thread's next sweep; under load, queueing for a free polling
+        # thread (which only holds for the shepherd work itself) adds
+        # the rest.
+        start = env.now
+        yield env.timeout(self.costs.cohort_poll_delay_ns)
+        with self._pollers.request() as poller:
+            yield poller
+            yield env.timeout(shepherd_ns)
+        request.add(Buckets.ORCHESTRATION, env.now - start)
+        if step.notify_after:
+            yield from self.deliver_result(request, step, entry)
+        elif next_step is not None:
+            yield from self.dma_to_next(request, step, entry, next_step)
+
+    def stats(self):
+        stats = super().stats()
+        stats["linked_hops"] = float(self.linked_hops)
+        stats["cpu_hops"] = float(self.cpu_hops)
+        return stats

@@ -1,0 +1,69 @@
+"""CPU-Centric orchestration (Section III baseline, after [27]).
+
+A CPU core invokes one accelerator at a time. When an accelerator
+completes, it raises a device interrupt; the core runs the completion
+handler, resolves any branch condition in software, performs any data
+transformation in software, and submits the next accelerator. Both the
+latency of each interrupt round trip and the core cycles it consumes
+(contending with application logic) are modeled.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.trace import ResolvedStep
+from ..hw.ops import QueueEntry
+from ..workloads.request import Buckets, Request
+from .base import Orchestrator
+
+__all__ = ["CpuCentricOrchestrator"]
+
+
+class CpuCentricOrchestrator(Orchestrator):
+    """One interrupt to a core per accelerator completion."""
+
+    name = "cpu-centric"
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        # The accelerator cannot retire a job (and start the next one)
+        # until a core has taken the completion interrupt and run the
+        # handler — the defining cost of CPU-centric orchestration.
+        for accel in self.hardware.all_accelerators():
+            accel.retire_hook = self._retire
+
+    def _retire(self, entry: QueueEntry):
+        yield self.env.process(
+            self.hardware.cores.handle_interrupt(
+                self.costs.cpu_centric_per_completion_ns
+            )
+        )
+
+    def after_step(
+        self,
+        request: Request,
+        step: ResolvedStep,
+        entry: QueueEntry,
+        next_step: Optional[ResolvedStep],
+    ):
+        env = self.env
+        # Software branch resolution / data transformation in the
+        # handler's continuation (the interrupt itself was charged as
+        # accelerator retire time).
+        extra_ns = step.branches_after * self.costs.cpu_branch_resolution_ns
+        if step.transforms_after:
+            kb = entry.op.data_out / 1024.0
+            extra_ns += (
+                step.transforms_after * self.costs.cpu_transform_ns_per_kb * kb
+            )
+        if extra_ns > 0:
+            start = env.now
+            yield env.process(self.hardware.cores.handle_interrupt(extra_ns))
+            request.add(Buckets.ORCHESTRATION, env.now - start)
+        if step.notify_after:
+            # The completion interrupt already reaches the core; only the
+            # result payload still has to land in memory.
+            yield from self.deliver_result(request, step, entry)
+        elif next_step is not None:
+            yield from self.dma_to_next(request, step, entry, next_step)

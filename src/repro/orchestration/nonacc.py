@@ -1,0 +1,59 @@
+"""The non-accelerated baseline: every tax operation runs in software.
+
+All TCP/crypto/RPC/(de)serialization/(de)compression/load-balancing
+work executes on CPU cores at full software cost; the only
+"orchestration" is ordinary function calls, which are free. This is the
+``Non-acc`` system of Figures 11-16.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.trace import ResolvedPath, ResolvedStep
+from ..hw.ops import QueueEntry
+from ..workloads.request import Buckets, Request
+from .base import Orchestrator, StepOutcome
+
+__all__ = ["NonAcceleratedOrchestrator"]
+
+
+class NonAcceleratedOrchestrator(Orchestrator):
+    """Software-only execution on the core pool."""
+
+    name = "non-acc"
+    uses_accelerators = False
+
+    def execute_path(
+        self,
+        request: Request,
+        path: ResolvedPath,
+        state: Dict[str, bool],
+        initiated_by_core: bool = False,
+    ):
+        env = self.env
+        kinds = path.kinds()
+        if kinds:
+            duration = self.cost_model.software_chain_ns(
+                request.spec, kinds, request.wire_size
+            )
+            yield from self._run_on_core(request, duration)
+            request.accelerator_ops += len(kinds)
+        last = path.steps[-1] if path.steps else None
+        if last is not None and last.fanout:
+            arms = [
+                env.process(self._run_arm(request, arm, state))
+                for arm in last.fanout
+            ]
+            yield env.all_of(arms)
+        return StepOutcome.OK
+
+    def after_step(
+        self,
+        request: Request,
+        step: ResolvedStep,
+        entry: QueueEntry,
+        next_step: Optional[ResolvedStep],
+    ):  # pragma: no cover - never reached (execute_path overridden)
+        raise AssertionError("Non-acc does not execute accelerator steps")
+        yield

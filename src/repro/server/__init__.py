@@ -1,0 +1,26 @@
+"""Server assembly, experiment driver and metrics."""
+
+from .driver import (
+    RunConfig,
+    max_throughput_search,
+    run_experiment,
+    run_unloaded,
+    saturation_throughput,
+)
+from .machine import SimulatedServer
+from .metrics import ExperimentResult, ServiceResult, energy_summary
+from ..workloads.request import Buckets, Request
+
+__all__ = [
+    "Buckets",
+    "ExperimentResult",
+    "Request",
+    "RunConfig",
+    "ServiceResult",
+    "SimulatedServer",
+    "energy_summary",
+    "max_throughput_search",
+    "run_experiment",
+    "saturation_throughput",
+    "run_unloaded",
+]

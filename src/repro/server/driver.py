@@ -1,0 +1,350 @@
+"""Experiment driver: open-loop load generation and measurement runs.
+
+The driver builds a :class:`SimulatedServer`, plays an arrival process
+per service, and collects per-service latency distributions plus
+hardware statistics. Two deployment modes match the paper's setups:
+
+* dedicated — each service measured on its own server instance
+  (Figures 11-14, 18-20); results are merged across services.
+* colocated — all services share one server (the serverless study,
+  Figure 16).
+
+``run_unloaded`` executes requests one at a time (Figure 17 and the
+SLO reference latencies), and ``max_throughput_search`` binary-searches
+the highest per-service load whose P99 stays within the SLO (Fig 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..hw.accelerator import QueuePolicy
+from ..hw.params import MachineParams
+from ..workloads.arrivals import MmppArrivals, PoissonArrivals
+from ..workloads.calibration import (
+    BranchProbabilities,
+    OrchestrationCosts,
+    RemoteLatencies,
+)
+from ..core.registry import TraceRegistry
+from ..workloads.spec import ServiceSpec
+from .machine import SimulatedServer
+from .metrics import ExperimentResult, ServiceResult
+from ..workloads.request import Request
+
+__all__ = ["RunConfig", "run_experiment", "run_unloaded", "max_throughput_search"]
+
+_SECOND_NS = 1e9
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Parameters of one measurement run."""
+
+    architecture: str
+    requests_per_service: int = 300
+    seed: int = 0
+    queue_policy: str = QueuePolicy.FIFO
+    machine_params: Optional[MachineParams] = None
+    #: "poisson" (Fig 12 sweeps) or "alibaba"/"azure" (MMPP bursty).
+    arrival_mode: str = "alibaba"
+    #: Overrides every service's own rate when set (RPS per service).
+    rate_rps: Optional[float] = None
+    rate_scale: float = 1.0
+    #: True: all services share one server. False: one server each.
+    colocated: bool = False
+    warmup_fraction: float = 0.1
+    #: Run at most this much simulated time past the last arrival.
+    drain_ns: float = 200e6
+    #: Multiplies mean unloaded latency to set the per-request soft
+    #: deadline when the EDF queue policy is active.
+    slo_multiplier: float = 5.0
+    #: Reference unloaded latency per service (for EDF deadlines).
+    unloaded_reference_ns: Dict[str, float] = field(default_factory=dict)
+    orch_costs: Optional[OrchestrationCosts] = None
+    remotes: Optional[RemoteLatencies] = None
+    branch_probs: Optional[BranchProbabilities] = None
+    #: Custom trace catalogue (defaults to the standard T1-T12 set).
+    registry: Optional[TraceRegistry] = None
+
+
+def _make_server(config: RunConfig, seed_offset: int = 0) -> SimulatedServer:
+    return SimulatedServer(
+        config.architecture,
+        machine_params=config.machine_params,
+        registry=config.registry,
+        seed=config.seed + seed_offset,
+        queue_policy=config.queue_policy,
+        orch_costs=config.orch_costs,
+        remotes=config.remotes,
+        branch_probs=config.branch_probs,
+    )
+
+
+def _arrivals_for(server: SimulatedServer, spec: ServiceSpec, config: RunConfig):
+    rate = config.rate_rps if config.rate_rps is not None else spec.rate_rps
+    rate *= config.rate_scale
+    stream = server.streams.stream(f"arrivals/{spec.name}")
+    if config.arrival_mode == "poisson":
+        return PoissonArrivals(rate, stream)
+    if config.arrival_mode == "alibaba":
+        return MmppArrivals(rate, stream, burst_factor=5.0, burst_share=0.10)
+    if config.arrival_mode == "azure":
+        return MmppArrivals(rate, stream, burst_factor=10.0, burst_share=0.06)
+    raise ValueError(f"unknown arrival mode {config.arrival_mode!r}")
+
+
+def _source(server: SimulatedServer, spec: ServiceSpec, config: RunConfig, sink):
+    """Process: generate open-loop arrivals for one service."""
+    arrivals = _arrivals_for(server, spec, config)
+    for _ in range(config.requests_per_service):
+        yield server.env.timeout(arrivals.next_gap_ns())
+        request = server.make_request(spec)
+        if server.params and config.queue_policy == QueuePolicy.EDF:
+            reference = config.unloaded_reference_ns.get(spec.name)
+            if reference:
+                request.slo_deadline_ns = (
+                    server.env.now + config.slo_multiplier * reference
+                )
+        sink.append((request, server.submit(request)))
+
+
+def _run_on_server(
+    server: SimulatedServer, services: List[ServiceSpec], config: RunConfig
+) -> Dict[str, ServiceResult]:
+    in_flight: List = []
+    sources = [
+        server.env.process(
+            _source(server, spec, config, in_flight), name=f"src-{spec.name}"
+        )
+        for spec in services
+    ]
+    # Horizon: expected arrival span of the slowest source + drain.
+    span = max(
+        config.requests_per_service
+        / ((config.rate_rps or spec.rate_rps) * config.rate_scale)
+        for spec in services
+    )
+    horizon_ns = span * _SECOND_NS + config.drain_ns
+
+    def _watch_completion(env):
+        for source in sources:
+            yield source
+        yield env.all_of([proc for _, proc in in_flight])
+
+    watcher = server.env.process(_watch_completion(server.env))
+    # Stop at full completion or at the horizon, whichever comes first,
+    # so idle drain time never dilutes utilization statistics.
+    server.env.run(
+        until=server.env.any_of([watcher, server.env.timeout(horizon_ns)])
+    )
+
+    results = {
+        spec.name: ServiceResult(spec.name, warmup_fraction=config.warmup_fraction)
+        for spec in services
+    }
+    for request, _process in in_flight:
+        result = results[request.spec.name]
+        if request.completed:
+            result.record(request)
+        else:
+            result.record_censored(server.env.now - request.arrival_ns)
+    return results
+
+
+def run_experiment(
+    services: List[ServiceSpec], config: RunConfig
+) -> ExperimentResult:
+    """Run one measurement; merges per-service servers unless colocated."""
+    if config.colocated:
+        server = _make_server(config)
+        per_service = _run_on_server(server, services, config)
+        return _finish(server, per_service, config, services)
+
+    merged: Dict[str, ServiceResult] = {}
+    last_server: Optional[SimulatedServer] = None
+    elapsed = 0.0
+    hardware_stats: Dict[str, object] = {}
+    orch_stats: Dict[str, object] = {}
+    utilizations: Dict = {}
+    for index, spec in enumerate(services):
+        server = _make_server(config, seed_offset=index)
+        merged.update(_run_on_server(server, [spec], config))
+        elapsed = max(elapsed, server.env.now)
+        last_server = server
+        hardware_stats[spec.name] = server.hardware.stats()
+        orch_stats[spec.name] = server.orchestrator.stats()
+        utilizations[spec.name] = server.hardware.accelerator_utilizations()
+    result = ExperimentResult(
+        architecture=config.architecture,
+        services=merged,
+        elapsed_ns=elapsed,
+        hardware_stats={"per_service": hardware_stats},
+        orchestrator_stats={"per_service": orch_stats},
+        utilizations=utilizations,
+        offered_rps={
+            spec.name: (config.rate_rps or spec.rate_rps) * config.rate_scale
+            for spec in services
+        },
+    )
+    return result
+
+
+def _finish(
+    server: SimulatedServer,
+    per_service: Dict[str, ServiceResult],
+    config: RunConfig,
+    services: List[ServiceSpec],
+) -> ExperimentResult:
+    return ExperimentResult(
+        architecture=config.architecture,
+        services=per_service,
+        elapsed_ns=server.env.now,
+        hardware_stats=server.hardware.stats(),
+        orchestrator_stats=server.orchestrator.stats(),
+        utilizations=server.hardware.accelerator_utilizations(),
+        offered_rps={
+            spec.name: (config.rate_rps or spec.rate_rps) * config.rate_scale
+            for spec in services
+        },
+    )
+
+
+def run_unloaded(
+    architecture: str,
+    spec: ServiceSpec,
+    requests: int = 20,
+    seed: int = 0,
+    machine_params: Optional[MachineParams] = None,
+    orch_costs: Optional[OrchestrationCosts] = None,
+    remotes: Optional[RemoteLatencies] = None,
+    registry: Optional[TraceRegistry] = None,
+) -> ServiceResult:
+    """Run requests one at a time (no contention; Fig 17 methodology)."""
+    server = SimulatedServer(
+        architecture,
+        machine_params=machine_params,
+        registry=registry,
+        seed=seed,
+        orch_costs=orch_costs,
+        remotes=remotes,
+    )
+    result = ServiceResult(spec.name, warmup_fraction=0.0)
+
+    def closed_loop(env):
+        for _ in range(requests):
+            request = server.make_request(spec)
+            yield server.submit(request)
+            result.record(request)
+
+    server.env.process(closed_loop(server.env))
+    server.env.run()
+    return result
+
+
+def saturation_throughput(
+    architecture: str,
+    spec: ServiceSpec,
+    requests: int = 300,
+    seed: int = 0,
+    machine_params: Optional[MachineParams] = None,
+    queue_policy: str = QueuePolicy.FIFO,
+    registry: Optional[TraceRegistry] = None,
+) -> float:
+    """Sustainable completion rate (RPS) under a closed burst.
+
+    All requests arrive almost at once; the completion span measures the
+    server's drain rate, i.e. its saturation throughput.
+    """
+    server = SimulatedServer(
+        architecture,
+        machine_params=machine_params,
+        registry=registry,
+        seed=seed,
+        queue_policy=queue_policy,
+    )
+    in_flight = []
+
+    def burst(env):
+        for _ in range(requests):
+            yield env.timeout(50.0)  # effectively simultaneous
+            request = server.make_request(spec)
+            in_flight.append((request, server.submit(request)))
+
+    server.env.process(burst(server.env))
+    server.env.run()
+    last_completion = max(r.complete_ns for r, _ in in_flight)
+    if last_completion <= 0:
+        return 0.0
+    return requests / (last_completion * 1e-9)
+
+
+def max_throughput_search(
+    architecture: str,
+    spec: ServiceSpec,
+    slo_ns: float,
+    requests: int = 250,
+    seed: int = 0,
+    lo_rps: float = 200.0,
+    hi_rps: Optional[float] = None,
+    iterations: int = 7,
+    machine_params: Optional[MachineParams] = None,
+    queue_policy: str = QueuePolicy.FIFO,
+    unloaded_reference_ns: Optional[float] = None,
+    probe_duration_s: float = 0.05,
+    probe_cap: int = 1500,
+    registry: Optional[TraceRegistry] = None,
+) -> float:
+    """Highest per-service load (RPS) whose P99 stays within the SLO.
+
+    Two phases: a closed burst measures the saturation throughput to
+    bracket the search; duration-based open-loop probes then binary
+    search the SLO knee. A probe violates the SLO when its P99 exceeds
+    ``slo_ns`` or any request is still unfinished at the horizon.
+    """
+    if hi_rps is None:
+        capacity = saturation_throughput(
+            architecture,
+            spec,
+            requests=max(100, requests // 2),
+            seed=seed,
+            machine_params=machine_params,
+            queue_policy=queue_policy,
+            registry=registry,
+        )
+        hi_rps = max(capacity * 1.2, lo_rps * 2)
+
+    def violates(rate: float) -> bool:
+        probe_requests = int(
+            min(probe_cap, max(requests, rate * probe_duration_s))
+        )
+        config = RunConfig(
+            architecture=architecture,
+            requests_per_service=probe_requests,
+            seed=seed,
+            arrival_mode="poisson",
+            rate_rps=rate,
+            machine_params=machine_params,
+            queue_policy=queue_policy,
+            drain_ns=20e6,
+            registry=registry,
+            unloaded_reference_ns=(
+                {spec.name: unloaded_reference_ns} if unloaded_reference_ns else {}
+            ),
+        )
+        result = run_experiment([spec], config)
+        if result.total_censored() > 0:
+            return True
+        return result.p99_ns(spec.name) > slo_ns
+
+    if violates(lo_rps):
+        return lo_rps
+    lo, hi = lo_rps, hi_rps
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if violates(mid):
+            hi = mid
+        else:
+            lo = mid
+    return lo

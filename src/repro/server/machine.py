@@ -1,0 +1,94 @@
+"""One simulated server: hardware + orchestrator + cost model, wired up."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.registry import TraceRegistry
+from ..hw.accelerator import QueuePolicy
+from ..hw.ensemble import ServerHardware
+from ..hw.params import MachineParams
+from ..orchestration import make_orchestrator
+from ..sim import Environment, RandomStreams
+from ..workloads.calibration import (
+    BranchProbabilities,
+    OrchestrationCosts,
+    RemoteLatencies,
+)
+from ..workloads.costs import CostModel
+from ..workloads.payloads import PayloadModel
+from ..workloads.spec import ServiceSpec
+from ..workloads.request import Request
+
+__all__ = ["SimulatedServer"]
+
+
+class SimulatedServer:
+    """A 36-core server with the nine-accelerator ensemble."""
+
+    def __init__(
+        self,
+        architecture: str,
+        machine_params: Optional[MachineParams] = None,
+        registry: Optional[TraceRegistry] = None,
+        seed: int = 0,
+        queue_policy: str = QueuePolicy.FIFO,
+        orch_costs: Optional[OrchestrationCosts] = None,
+        remotes: Optional[RemoteLatencies] = None,
+        branch_probs: Optional[BranchProbabilities] = None,
+    ):
+        self.architecture = architecture
+        self.params = machine_params or MachineParams()
+        self.registry = registry or TraceRegistry.with_standard_templates()
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.hardware = ServerHardware(
+            self.env, self.params, self.streams, queue_policy=queue_policy
+        )
+        self.cost_model = CostModel(self.registry, generation=self.params.generation)
+        self.orchestrator = make_orchestrator(
+            architecture,
+            self.env,
+            self.hardware,
+            self.registry,
+            self.cost_model,
+            self.streams,
+            orch_costs=orch_costs,
+            remotes=remotes,
+        )
+        self.branch_probs = branch_probs or BranchProbabilities()
+        self._field_stream = self.streams.stream("fields")
+        self._payload_models: Dict[str, PayloadModel] = {}
+
+    def _payload_model(self, spec: ServiceSpec) -> PayloadModel:
+        model = self._payload_models.get(spec.name)
+        if model is None:
+            model = PayloadModel(
+                self.streams.stream(f"payload/{spec.name}"),
+                median_bytes=spec.wire_median_bytes,
+            )
+            self._payload_models[spec.name] = model
+        return model
+
+    def make_request(self, spec: ServiceSpec) -> Request:
+        """Sample a new request: payload fields + wire size."""
+        probs = self.branch_probs.as_dict()
+        state = {
+            field: self._field_stream.bernoulli(p) for field, p in probs.items()
+        }
+        wire_size = self._payload_model(spec).sample_wire_size()
+        return Request(
+            spec,
+            arrival_ns=self.env.now,
+            state=state,
+            wire_size=wire_size,
+            tenant=spec.tenant,
+            priority=spec.priority,
+        )
+
+    def submit(self, request: Request):
+        """Start executing ``request``; returns its completion process."""
+        return self.env.process(
+            self.orchestrator.execute_request(request),
+            name=f"req-{request.rid}",
+        )

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate (kernel, resources, stores, RNG)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .monitor import Counter, LatencyRecorder, TimeWeightedValue, percentile, summarize
+from .resources import PriorityResource, Resource
+from .rng import RandomStreams, Stream
+from .stores import FilterStore, PriorityItem, PriorityStore, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Counter",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "LatencyRecorder",
+    "PriorityItem",
+    "PriorityResource",
+    "PriorityStore",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Stream",
+    "TimeWeightedValue",
+    "Timeout",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,509 @@
+"""Discrete-event simulation kernel.
+
+A small, fast, simpy-like engine: simulation logic is written as Python
+generator functions ("processes") that yield :class:`Event` objects. The
+:class:`Environment` owns the event calendar and advances virtual time.
+
+The kernel is self-contained (no third-party dependencies) and is the
+substrate for every hardware and workload model in this repository. Time
+is a float; the AccelFlow models use nanoseconds throughout.
+
+Example
+-------
+>>> env = Environment()
+>>> def proc(env):
+...     yield env.timeout(5.0)
+...     return "done"
+>>> p = env.process(proc(env))
+>>> env.run()
+>>> env.now
+5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+    "StopSimulation",
+    "URGENT",
+    "NORMAL",
+]
+
+# Scheduling priorities: URGENT events (e.g. process resumptions that must
+# observe state before same-time timeouts) sort ahead of NORMAL ones.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class SimulationError(Exception):
+    """Base class for kernel errors."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once it has a value and
+    is scheduled, and is *processed* after its callbacks have run. Events
+    may succeed (carrying a value) or fail (carrying an exception).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_defused")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables invoked with this event when it is processed. ``None``
+        #: once the event has been processed.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._defused = False
+
+    def __repr__(self) -> str:
+        state = "pending" if not self.triggered else ("ok" if self.ok else "failed")
+        return f"<{type(self).__name__} ({state}) at {id(self):#x}>"
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and has been scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._value is _PENDING:
+            raise SimulationError("Event value not yet available")
+        return not isinstance(self._value, _Failure)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("Event value not yet available")
+        if isinstance(self._value, _Failure):
+            return self._value.exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._value = _Failure(exception)
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another (already triggered) event."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = event._value
+        self.env._schedule(self, NORMAL, 0.0)
+
+    # -- composition ------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.env, Condition.any_events, [self, other])
+
+
+class _Failure:
+    """Wrapper marking an event value as an exception."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"Negative delay {delay}")
+        self.env = env
+        self.callbacks = []
+        self._value = value
+        self._defused = False
+        self.delay = delay
+        env._schedule(self, NORMAL, delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Immediate event that starts a newly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        self.env = env
+        self.callbacks = [process._resume]
+        self._value = None
+        self._defused = False
+        env._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """Wraps a generator so that it executes as a simulation process.
+
+    The process itself is an event that triggers when the generator
+    returns (with the generator's return value) or raises (failed).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._defused = False
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting for.
+        self._target: Optional[Event] = Initialize(env, self)
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name} at {id(self):#x}>"
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the wrapped generator has not terminated."""
+        return self._value is _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for (if alive)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        The process stops waiting for its current target event and instead
+        sees ``Interrupt(cause)`` raised at its current yield point.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("A process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._value = _Failure(Interrupt(cause))
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env._schedule(interrupt_event, URGENT, 0.0)
+        # Stop listening on the old target (if it is still pending).
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value of ``event``."""
+        env = self.env
+        env._active_process = self
+        while True:
+            if isinstance(event._value, _Failure):
+                event._defused = True
+                exc = event._value.exc
+                try:
+                    next_event = self._generator.throw(exc)
+                except StopIteration as stop:
+                    self._terminate(stop.value)
+                    break
+                except BaseException as error:
+                    self._fail_with(error)
+                    break
+            else:
+                try:
+                    next_event = self._generator.send(event._value)
+                except StopIteration as stop:
+                    self._terminate(stop.value)
+                    break
+                except BaseException as error:
+                    self._fail_with(error)
+                    break
+
+            if not isinstance(next_event, Event):
+                self._fail_with(
+                    SimulationError(
+                        f"Process {self.name} yielded a non-event: {next_event!r}"
+                    )
+                )
+                break
+            if next_event.callbacks is not None:
+                # The target is still pending: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Target already processed: feed its value back immediately.
+            event = next_event
+        env._active_process = None
+
+    def _terminate(self, value: Any) -> None:
+        self._value = value
+        self._target = None
+        self.env._schedule(self, NORMAL, 0.0)
+
+    def _fail_with(self, error: BaseException) -> None:
+        self._value = _Failure(error)
+        self._target = None
+        self.env._schedule(self, NORMAL, 0.0)
+
+
+class Condition(Event):
+    """An event that triggers once a predicate over child events holds.
+
+    Used through the ``&``/``|`` operators on events or through
+    :meth:`Environment.all_of` / :meth:`Environment.any_of`.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[List[Event], int], bool],
+        events: Iterable[Event],
+    ):
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._defused = False
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("Condition spans multiple environments")
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    @staticmethod
+    def all_events(events: List[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: List[Event], count: int) -> bool:
+        return count > 0 or not events
+
+    def _check(self, event: Event) -> None:
+        if self._value is not _PENDING:
+            return
+        self._count += 1
+        if isinstance(event._value, _Failure):
+            event._defused = True
+            self.fail(event._value.exc)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(ConditionValue([e for e in self._events if e.processed]))
+
+
+class ConditionValue:
+    """Result of a condition: the triggered child events, dict-like."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: List[Event]):
+        self.events = events
+
+    def __getitem__(self, key: Event) -> Any:
+        if key not in self.events:
+            raise KeyError(repr(key))
+        return key.value
+
+    def __contains__(self, key: Event) -> bool:
+        return key in self.events
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.events == other.events
+        return NotImplemented
+
+    def todict(self) -> dict:
+        return {event: event.value for event in self.events}
+
+
+class AllOf(Condition):
+    """Condition that triggers once all child events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once any child event has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, Condition.any_events, events)
+
+
+class Environment:
+    """The simulation environment: event calendar and virtual clock."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock and scheduling ---------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("No scheduled events") from None
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if isinstance(event._value, _Failure) and not event._defused:
+            # Nobody handled the failure: propagate it out of run().
+            raise event._value.exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an event, or exhaustion).
+
+        * ``None`` — run until no events remain.
+        * number — run until the clock reaches that time.
+        * :class:`Event` — run until that event is processed and return
+          its value.
+        """
+        stop_at = float("inf")
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    return until.value
+                until.callbacks.append(self._stop_on)
+            else:
+                stop_at = float(until)
+                if stop_at < self._now:
+                    raise ValueError(
+                        f"until ({stop_at}) must not be before now ({self._now})"
+                    )
+        try:
+            while self._queue and self._queue[0][0] <= stop_at:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if stop_at != float("inf"):
+            self._now = stop_at
+        if isinstance(until, Event) and not until.triggered:
+            raise SimulationError(
+                "No scheduled events left but the until-event was not triggered"
+            )
+        return None
+
+    def _stop_on(self, event: Event) -> None:
+        if isinstance(event._value, _Failure):
+            event._defused = True
+            raise event._value.exc
+        raise StopSimulation(event._value)
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering when all of ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering when any of ``events`` has triggered."""
+        return AnyOf(self, events)

@@ -1,0 +1,165 @@
+"""Shared-resource primitives built on the simulation kernel.
+
+:class:`Resource` models a pool of identical servers with a FIFO wait
+queue; :class:`PriorityResource` serves waiters lowest-priority-value
+first. Both are used throughout the hardware models (CPU cores, PEs,
+dispatchers, DMA engines, network links).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from .core import Environment, Event
+
+__all__ = ["Resource", "PriorityResource", "Request", "Release", "Preempted"]
+
+
+class Preempted(Exception):
+    """Cause delivered to a process whose resource usage was preempted."""
+
+    def __init__(self, by: object, usage_since: float):
+        super().__init__(by, usage_since)
+        self.by = by
+        self.usage_since = usage_since
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`.
+
+    Usable as a context manager so the claim is always released::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    __slots__ = ("resource", "priority", "time", "key")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self.time = resource.env.now
+        resource._request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the claim (or withdraw it if still queued)."""
+        self.resource._release(self)
+
+
+class Release(Event):
+    """Immediate event confirming a release (kept for API symmetry)."""
+
+    __slots__ = ("request",)
+
+    def __init__(self, resource: "Resource", request: Request):
+        super().__init__(resource.env)
+        self.request = request
+        resource._release(request)
+        self.succeed()
+
+
+class Resource:
+    """A pool of ``capacity`` identical servers with a FIFO queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of servers currently in use."""
+        return len(self.users)
+
+    def request(self, priority: int = 0) -> Request:
+        """Claim one server; the returned event triggers when granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> Release:
+        """Release a previously granted claim."""
+        return Release(self, request)
+
+    # -- internal ---------------------------------------------------------
+    def _request(self, request: Request) -> None:
+        if len(self.users) < self._capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self._enqueue(request)
+
+    def _enqueue(self, request: Request) -> None:
+        self.queue.append(request)
+
+    def _release(self, request: Request) -> None:
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Not a user: withdraw from the wait queue if still there.
+            self._dequeue(request)
+            return
+        self._grant_next()
+
+    def _dequeue(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self._capacity:
+            nxt = self._pop_next()
+            if nxt is None:
+                return
+            self.users.append(nxt)
+            nxt.succeed()
+
+    def _pop_next(self) -> Optional[Request]:
+        if not self.queue:
+            return None
+        return self.queue.pop(0)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is served lowest ``priority`` value first.
+
+    Ties break FIFO (by request creation order).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+        self._order = 0
+
+    def _enqueue(self, request: Request) -> None:
+        self._order += 1
+        request.key = (request.priority, self._order)
+        heapq.heappush(self._heap, (request.key, request))
+        self.queue.append(request)
+
+    def _dequeue(self, request: Request) -> None:
+        super()._dequeue(request)
+        # Lazily ignore withdrawn entries when popping.
+
+    def _pop_next(self) -> Optional[Request]:
+        while self._heap:
+            _, request = heapq.heappop(self._heap)
+            if request in self.queue:
+                self.queue.remove(request)
+                return request
+        return None

@@ -1,0 +1,175 @@
+"""Buffered producer/consumer channels for the simulation kernel.
+
+:class:`Store` is a bounded FIFO buffer of arbitrary items with blocking
+``put``/``get``; :class:`PriorityStore` pops the smallest item first; and
+:class:`FilterStore` lets consumers wait for items matching a predicate.
+The hardware queues of the accelerator models are built on these.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List
+
+from .core import Environment, Event
+
+__all__ = ["Store", "PriorityStore", "FilterStore", "PriorityItem"]
+
+
+class StorePut(Event):
+    """Pending put: triggers when the item has been accepted."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+        store._put_waiters.append(self)
+        store._dispatch()
+
+
+class StoreGet(Event):
+    """Pending get: triggers with the retrieved item."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Callable[[Any], bool] = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._get_waiters.append(self)
+        store._dispatch()
+
+
+class Store:
+    """Bounded FIFO buffer with blocking put/get."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[Any] = []
+        self._put_waiters: List[StorePut] = []
+        self._get_waiters: List[StoreGet] = []
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        """Add ``item``; the returned event triggers once accepted."""
+        return StorePut(self, item)
+
+    def get(self) -> StoreGet:
+        """Remove an item; the returned event triggers with it."""
+        return StoreGet(self)
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put: returns False if the buffer is full."""
+        if self.is_full:
+            return False
+        self._insert(item)
+        self._dispatch()
+        return True
+
+    def try_get(self) -> Any:
+        """Non-blocking get: returns None if empty."""
+        if not self.items:
+            return None
+        item = self._extract(None)
+        self._dispatch()
+        return item
+
+    def remove(self, item: Any) -> bool:
+        """Remove a specific item (identity match), unblocking putters."""
+        for index, existing in enumerate(self.items):
+            if existing is item:
+                self.items.pop(index)
+                self._dispatch()
+                return True
+        return False
+
+    # -- storage policy (overridden by subclasses) --------------------------
+    def _insert(self, item: Any) -> None:
+        self.items.append(item)
+
+    def _extract(self, getter) -> Any:
+        return self.items.pop(0)
+
+    def _can_serve(self, getter) -> bool:
+        return bool(self.items)
+
+    # -- waiter matching ----------------------------------------------------
+    def _dispatch(self) -> None:
+        # Admit queued puts while there is room.
+        progress = True
+        while progress:
+            progress = False
+            while self._put_waiters and not self.is_full:
+                putter = self._put_waiters.pop(0)
+                self._insert(putter.item)
+                putter.succeed()
+                progress = True
+            idx = 0
+            while idx < len(self._get_waiters):
+                getter = self._get_waiters[idx]
+                if self._can_serve(getter):
+                    self._get_waiters.pop(idx)
+                    getter.succeed(self._extract(getter))
+                    progress = True
+                else:
+                    idx += 1
+
+
+class PriorityItem:
+    """Wrap an arbitrary item with an orderable priority key."""
+
+    __slots__ = ("priority", "item")
+
+    def __init__(self, priority: Any, item: Any):
+        self.priority = priority
+        self.item = item
+
+    def __lt__(self, other: "PriorityItem") -> bool:
+        return self.priority < other.priority
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, PriorityItem):
+            return self.priority == other.priority and self.item == other.item
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"PriorityItem(priority={self.priority!r}, item={self.item!r})"
+
+
+class PriorityStore(Store):
+    """Store that pops the smallest item first (heap ordered)."""
+
+    def _insert(self, item: Any) -> None:
+        heapq.heappush(self.items, item)
+
+    def _extract(self, getter) -> Any:
+        return heapq.heappop(self.items)
+
+
+class FilterStore(Store):
+    """Store whose consumers can wait for items matching a predicate."""
+
+    def get(self, filter: Callable[[Any], bool] = None) -> StoreGet:  # noqa: A002
+        return StoreGet(self, filter)
+
+    def _can_serve(self, getter) -> bool:
+        if getter is None or getter.filter is None:
+            return bool(self.items)
+        return any(getter.filter(item) for item in self.items)
+
+    def _extract(self, getter) -> Any:
+        if getter is None or getter.filter is None:
+            return self.items.pop(0)
+        for idx, item in enumerate(self.items):
+            if getter.filter(item):
+                return self.items.pop(idx)
+        raise LookupError("FilterStore._extract called with no matching item")

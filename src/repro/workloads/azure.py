@@ -1,0 +1,40 @@
+"""Synthetic Azure-serverless-trace substitute (Fig 16 load model).
+
+Azure Functions traces [87] are far spikier than microservice traffic:
+most functions are invoked rarely, then in sharp bursts. We reuse the
+MMPP generator with a high burst factor and small burst share, which
+produces the characteristic idle-then-spike invocation pattern that
+stresses orchestrator queues the way the paper describes ("bursty
+invocation patterns").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sim import RandomStreams
+from .arrivals import MmppArrivals
+from .spec import ServiceSpec
+
+__all__ = ["azure_arrivals"]
+
+#: Serverless burstiness: rare but violent spikes.
+BURST_FACTOR = 10.0
+BURST_SHARE = 0.06
+
+
+def azure_arrivals(
+    functions: List[ServiceSpec],
+    streams: RandomStreams,
+    rate_scale: float = 1.0,
+) -> Dict[str, MmppArrivals]:
+    """Per-function spiky arrival generators."""
+    return {
+        spec.name: MmppArrivals(
+            rate_rps=spec.rate_rps * rate_scale,
+            stream=streams.stream(f"azure/{spec.name}"),
+            burst_factor=BURST_FACTOR,
+            burst_share=BURST_SHARE,
+        )
+        for spec in functions
+    }

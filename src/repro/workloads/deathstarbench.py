@@ -1,0 +1,227 @@
+"""HotelReservation and MediaServices suites (DeathStarBench).
+
+The paper uses these suites in the load-sweep experiments (Figure 12)
+and in the Section III characterization (62.5% / 82.5% of their
+accelerator sequences contain conditionals). The paper does not publish
+their per-service paths, so we model representative services with the
+same trace catalogue: read-heavy lookup services (cache reads, nested
+RPCs) for HotelReservation, and larger-payload streaming-flavoured
+services for MediaServices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .calibration import US, TaxCategory
+from .spec import CpuSegment, ParallelInvocations, ServiceSpec, TraceInvocation
+
+__all__ = ["hotel_reservation_services", "media_services"]
+
+_T = TaxCategory
+
+
+def _fractions(app, tcp, encr, rpc, ser, cmp, ldb) -> Dict[str, float]:
+    return {
+        _T.APP_LOGIC: app,
+        _T.TCP: tcp,
+        _T.ENCRYPTION: encr,
+        _T.RPC: rpc,
+        _T.SERIALIZATION: ser,
+        _T.COMPRESSION: cmp,
+        _T.LOAD_BALANCING: ldb,
+    }
+
+
+def hotel_reservation_services() -> List[ServiceSpec]:
+    """Six representative HotelReservation services."""
+    return [
+        ServiceSpec(
+            name="SearchHotel",
+            suite="hotel",
+            total_time_ns=2400 * US,
+            fractions=_fractions(0.24, 0.25, 0.14, 0.04, 0.21, 0.08, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                ParallelInvocations(
+                    tuple(TraceInvocation("T9c", {"compressed": True}) for _ in range(2))
+                ),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=12000.0,
+        ),
+        ServiceSpec(
+            name="Reserve",
+            suite="hotel",
+            total_time_ns=1900 * US,
+            fractions=_fractions(0.22, 0.26, 0.15, 0.03, 0.21, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T8c", {"exception": False, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=6000.0,
+        ),
+        ServiceSpec(
+            name="Recommend",
+            suite="hotel",
+            total_time_ns=1500 * US,
+            fractions=_fractions(0.25, 0.24, 0.14, 0.03, 0.22, 0.08, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T4", {"hit": True, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=9000.0,
+        ),
+        ServiceSpec(
+            name="GeoLookup",
+            suite="hotel",
+            total_time_ns=900 * US,
+            fractions=_fractions(0.16, 0.31, 0.16, 0.04, 0.27, 0.00, 0.06),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=18000.0,
+            wire_median_bytes=768.0,
+        ),
+        ServiceSpec(
+            name="RateQuote",
+            suite="hotel",
+            total_time_ns=1300 * US,
+            fractions=_fractions(0.21, 0.26, 0.15, 0.03, 0.22, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T4", {"hit": True, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T3"),
+            ),
+            rate_rps=13000.0,
+        ),
+        ServiceSpec(
+            name="CheckAvail",
+            suite="hotel",
+            total_time_ns=2000 * US,
+            fractions=_fractions(0.20, 0.26, 0.15, 0.03, 0.23, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation(
+                    "T4",
+                    {"hit": False, "found": True, "compressed": False,
+                     "c_compressed": True, "exception": False},
+                ),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=10000.0,
+        ),
+    ]
+
+
+def media_services() -> List[ServiceSpec]:
+    """Six representative MediaServices services (larger payloads)."""
+    return [
+        ServiceSpec(
+            name="ComposeReview",
+            suite="media",
+            total_time_ns=3200 * US,
+            fractions=_fractions(0.24, 0.24, 0.14, 0.04, 0.21, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": True}),
+                CpuSegment(),
+                ParallelInvocations(
+                    tuple(TraceInvocation("T9c", {"compressed": True}) for _ in range(3))
+                ),
+                CpuSegment(),
+                TraceInvocation("T3"),
+            ),
+            rate_rps=5000.0,
+            wire_median_bytes=4096.0,
+        ),
+        ServiceSpec(
+            name="ReadPlot",
+            suite="media",
+            total_time_ns=1700 * US,
+            fractions=_fractions(0.20, 0.26, 0.14, 0.03, 0.23, 0.10, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T4", {"hit": True, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T3"),
+            ),
+            rate_rps=16000.0,
+            wire_median_bytes=3072.0,
+        ),
+        ServiceSpec(
+            name="CastInfo",
+            suite="media",
+            total_time_ns=1100 * US,
+            fractions=_fractions(0.22, 0.25, 0.15, 0.03, 0.22, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T4", {"hit": True, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=14000.0,
+        ),
+        ServiceSpec(
+            name="RateMovie",
+            suite="media",
+            total_time_ns=1400 * US,
+            fractions=_fractions(0.22, 0.25, 0.15, 0.03, 0.22, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T8c", {"exception": False, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=9000.0,
+        ),
+        ServiceSpec(
+            name="VideoMeta",
+            suite="media",
+            total_time_ns=2600 * US,
+            fractions=_fractions(0.21, 0.25, 0.14, 0.03, 0.23, 0.10, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T11c", {"compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T3"),
+            ),
+            rate_rps=7000.0,
+            wire_median_bytes=6144.0,
+        ),
+        ServiceSpec(
+            name="UserReviews",
+            suite="media",
+            total_time_ns=2100 * US,
+            fractions=_fractions(0.23, 0.25, 0.14, 0.03, 0.22, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation(
+                    "T4",
+                    {"hit": False, "found": True, "compressed": False,
+                     "c_compressed": True, "exception": False},
+                ),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=11000.0,
+        ),
+    ]

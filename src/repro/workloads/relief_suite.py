@@ -1,0 +1,154 @@
+"""Coarse-grained image-processing / RNN suite (Figure 15 substitute).
+
+The paper re-evaluates RELIEF and AccelFlow on the gem5-based simulator
+released with RELIEF, whose 7 coarse-grained accelerators target image
+processing and RNNs. That artifact is unavailable here, so we model the
+same *shape*: applications that chain a handful of coarse accelerators
+(ms-scale operations, large frames, no dynamic branches) — the regime
+where a centralized manager is least harmful, so gains are smaller than
+for microservices (the paper reports 1.8x average throughput).
+
+The 7 coarse accelerators are mapped onto the existing accelerator
+slots (the hardware model is agnostic to what a PE computes); the table
+below documents the mapping. Speedups are typical for such ASICs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.builder import seq
+from ..core.registry import TraceRegistry
+from ..hw.params import AcceleratorKind, MachineParams
+from .calibration import US, TaxCategory
+from .spec import CpuSegment, ServiceSpec, TraceInvocation
+
+__all__ = [
+    "COARSE_ACCELERATOR_SLOTS",
+    "COARSE_SPEEDUPS",
+    "coarse_machine_params",
+    "relief_suite_registry",
+    "relief_suite_services",
+]
+
+_K = AcceleratorKind
+
+#: Coarse accelerator -> hardware slot it occupies in this experiment.
+COARSE_ACCELERATOR_SLOTS: Dict[str, AcceleratorKind] = {
+    "ISP": _K.TCP,  # image signal processor (frame ingest)
+    "Canny": _K.ENCR,  # edge detection
+    "Harris": _K.DECR,  # corner detection
+    "EdgeTrack": _K.RPC,  # feature tracking
+    "GEMM": _K.SER,  # dense matrix engine (RNN cells)
+    "Elem": _K.DSER,  # elementwise / activation engine
+    "Pool": _K.CMP,  # pooling / downsampling
+}
+
+#: ASIC speedups over a core for the coarse operations.
+COARSE_SPEEDUPS: Dict[AcceleratorKind, float] = {
+    _K.TCP: 12.0,
+    _K.ENCR: 25.0,
+    _K.DECR: 22.0,
+    _K.RPC: 15.0,
+    _K.SER: 30.0,
+    _K.DSER: 18.0,
+    _K.CMP: 20.0,
+    _K.DCMP: 1.0,  # unused slot
+    _K.LDB: 1.0,  # unused slot
+}
+
+_T = TaxCategory
+
+
+def coarse_machine_params(pes: int = 1) -> MachineParams:
+    """Machine configured like the RELIEF artifact: one monolithic
+    (single-PE) instance of each coarse accelerator."""
+    return MachineParams(speedups=dict(COARSE_SPEEDUPS)).with_pes(pes)
+
+
+def relief_suite_registry() -> TraceRegistry:
+    """Accelerator chains of the coarse apps (static, branch-free)."""
+    registry = TraceRegistry()
+    # Image pipelines: ISP -> detectors -> pooling.
+    registry.register(seq("TCP", "Encr", "Cmp", name="edge_chain"))
+    registry.register(seq("TCP", "Decr", "RPC", "Cmp", name="track_chain"))
+    registry.register(seq("TCP", "Encr", "Decr", "Cmp", name="feature_chain"))
+    # RNN pipelines: GEMM/activation ping-pong.
+    registry.register(seq("Ser", "Dser", "Ser", "Dser", name="rnn_chain"))
+    registry.register(seq("Ser", "Dser", "Ser", "Dser", "Ser", "Dser",
+                          name="deep_rnn_chain"))
+    # Mixed vision+RNN (captioning-style).
+    registry.register(seq("TCP", "Encr", "Cmp", "Ser", "Dser", name="caption_chain"))
+    return registry
+
+
+def _fractions(app, tcp, encr, rpc, ser, cmp) -> Dict[str, float]:
+    return {
+        _T.APP_LOGIC: app,
+        _T.TCP: tcp,
+        _T.ENCRYPTION: encr,
+        _T.RPC: rpc,
+        _T.SERIALIZATION: ser,
+        _T.COMPRESSION: cmp,
+        _T.LOAD_BALANCING: 0.0,
+    }
+
+
+def relief_suite_services() -> List[ServiceSpec]:
+    """Six coarse-grained applications (image processing + RNN)."""
+    return [
+        ServiceSpec(
+            name="EdgeDetect",
+            suite="relief",
+            total_time_ns=500 * US,
+            fractions=_fractions(0.10, 0.25, 0.45, 0.0, 0.0, 0.20),
+            path=(TraceInvocation("edge_chain"), CpuSegment()),
+            rate_rps=2400.0,
+            wire_median_bytes=32768.0,
+        ),
+        ServiceSpec(
+            name="ObjTrack",
+            suite="relief",
+            total_time_ns=380 * US,
+            fractions=_fractions(0.12, 0.22, 0.30, 0.21, 0.0, 0.15),
+            path=(TraceInvocation("track_chain"), CpuSegment()),
+            rate_rps=1600.0,
+            wire_median_bytes=32768.0,
+        ),
+        ServiceSpec(
+            name="FeatureExt",
+            suite="relief",
+            total_time_ns=550 * US,
+            fractions=_fractions(0.10, 0.24, 0.46, 0.0, 0.0, 0.20),
+            path=(TraceInvocation("feature_chain"), CpuSegment()),
+            rate_rps=2000.0,
+            wire_median_bytes=32768.0,
+        ),
+        ServiceSpec(
+            name="RnnText",
+            suite="relief",
+            total_time_ns=380 * US,
+            fractions=_fractions(0.15, 0.0, 0.0, 0.0, 0.85, 0.0),
+            path=(TraceInvocation("rnn_chain"), CpuSegment()),
+            rate_rps=3200.0,
+            wire_median_bytes=8192.0,
+        ),
+        ServiceSpec(
+            name="RnnSpeech",
+            suite="relief",
+            total_time_ns=950 * US,
+            fractions=_fractions(0.12, 0.0, 0.0, 0.0, 0.88, 0.0),
+            path=(TraceInvocation("deep_rnn_chain"), CpuSegment()),
+            rate_rps=1200.0,
+            wire_median_bytes=16384.0,
+        ),
+        ServiceSpec(
+            name="Caption",
+            suite="relief",
+            total_time_ns=700 * US,
+            fractions=_fractions(0.13, 0.20, 0.27, 0.0, 0.25, 0.15),
+            path=(TraceInvocation("caption_chain"), CpuSegment()),
+            rate_rps=1400.0,
+            wire_median_bytes=32768.0,
+        ),
+    ]

@@ -1,0 +1,103 @@
+"""Per-request context: identity, payload fields, latency components.
+
+A :class:`Request` travels through the driver and the orchestrator and
+accumulates its latency breakdown into named buckets, enabling the
+Figure 17 decomposition (CPU / accelerators / orchestration /
+communication) plus queueing and remote-dependency time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from .spec import ServiceSpec
+
+__all__ = ["Request", "Buckets"]
+
+_request_ids = itertools.count()
+
+
+class Buckets:
+    """Latency-component bucket names."""
+
+    CPU = "cpu"
+    ACCEL = "accel"
+    ORCHESTRATION = "orchestration"
+    COMMUNICATION = "communication"
+    QUEUE = "queue"
+    REMOTE = "remote"
+
+    ALL = (CPU, ACCEL, ORCHESTRATION, COMMUNICATION, QUEUE, REMOTE)
+
+
+class Request:
+    """One service invocation."""
+
+    __slots__ = (
+        "rid",
+        "spec",
+        "arrival_ns",
+        "complete_ns",
+        "state",
+        "wire_size",
+        "tenant",
+        "priority",
+        "error",
+        "timed_out",
+        "fell_back",
+        "slo_deadline_ns",
+        "components",
+        "accelerator_ops",
+    )
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        arrival_ns: float,
+        state: Dict[str, bool],
+        wire_size: int,
+        tenant: int = 0,
+        priority: int = 0,
+    ):
+        self.rid = next(_request_ids)
+        self.spec = spec
+        self.arrival_ns = arrival_ns
+        self.complete_ns: Optional[float] = None
+        #: Payload fields that resolve the branch conditions of this
+        #: request's traces (fixed at arrival; see DESIGN.md).
+        self.state = state
+        self.wire_size = wire_size
+        self.tenant = tenant
+        #: Priority class for PRIORITY-ordered accelerator queues.
+        self.priority = priority
+        self.error = False
+        self.timed_out = False
+        self.fell_back = False
+        #: Absolute soft deadline when the run enforces SLOs (EDF).
+        self.slo_deadline_ns: Optional[float] = None
+        self.components: Dict[str, float] = {bucket: 0.0 for bucket in Buckets.ALL}
+        self.accelerator_ops = 0
+
+    def add(self, bucket: str, ns: float) -> None:
+        self.components[bucket] += ns
+
+    @property
+    def completed(self) -> bool:
+        return self.complete_ns is not None
+
+    @property
+    def latency_ns(self) -> float:
+        if self.complete_ns is None:
+            raise ValueError(f"request #{self.rid} has not completed")
+        return self.complete_ns - self.arrival_ns
+
+    def component_fraction(self, bucket: str) -> float:
+        total = sum(self.components.values())
+        if total <= 0:
+            return 0.0
+        return self.components[bucket] / total
+
+    def __repr__(self) -> str:
+        status = "done" if self.completed else "in-flight"
+        return f"Request(#{self.rid}, {self.spec.name}, {status})"

@@ -1,0 +1,227 @@
+"""Service specifications: execution paths over traces + CPU segments.
+
+A :class:`ServiceSpec` captures what the paper publishes about each
+service: its most-common execution path (Table IV) as an alternation of
+trace invocations and CPU (AppLogic) segments, its execution-time
+breakdown across tax categories (Figure 1), its total unloaded
+execution time, and its invocation rate in the Alibaba-trace-like
+setup.
+
+Path steps:
+
+* :class:`TraceInvocation` — start the named trace; ``forced`` pins
+  payload fields (e.g. ``{"hit": False}`` for Login's cache miss) so
+  the most-common path matches Table IV. The chain follows ATM links
+  (T4 -> T5 -> ...) automatically, waiting for network responses where
+  a TCP send precedes a TCP receive.
+* :class:`CpuSegment` — a slice of the service's AppLogic time.
+* :class:`ParallelInvocations` — concurrent chains (CPost's 4x(T9-T10)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..core.registry import TraceRegistry
+from ..core.trace import ResolvedPath
+from ..hw.params import AcceleratorKind
+from .calibration import TaxCategory
+
+__all__ = [
+    "TraceInvocation",
+    "CpuSegment",
+    "ParallelInvocations",
+    "PathStep",
+    "ServiceSpec",
+    "CATEGORY_OF_KIND",
+    "most_common_state",
+    "expand_chain",
+    "count_ops_by_category",
+    "total_accelerators",
+]
+
+_K = AcceleratorKind
+
+#: Tax category of each accelerator kind.
+CATEGORY_OF_KIND: Dict[AcceleratorKind, str] = {
+    _K.TCP: TaxCategory.TCP,
+    _K.ENCR: TaxCategory.ENCRYPTION,
+    _K.DECR: TaxCategory.ENCRYPTION,
+    _K.RPC: TaxCategory.RPC,
+    _K.SER: TaxCategory.SERIALIZATION,
+    _K.DSER: TaxCategory.SERIALIZATION,
+    _K.CMP: TaxCategory.COMPRESSION,
+    _K.DCMP: TaxCategory.COMPRESSION,
+    _K.LDB: TaxCategory.LOAD_BALANCING,
+}
+
+
+@dataclass(frozen=True)
+class TraceInvocation:
+    """Start the chain anchored at ``entry`` with pinned payload fields."""
+
+    entry: str
+    forced: Mapping[str, bool] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        if self.forced:
+            pins = ",".join(f"{k}={'T' if v else 'F'}" for k, v in sorted(self.forced.items()))
+            return f"TraceInvocation({self.entry}; {pins})"
+        return f"TraceInvocation({self.entry})"
+
+
+@dataclass(frozen=True)
+class CpuSegment:
+    """A slice of the service's AppLogic, weighted among CPU segments."""
+
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class ParallelInvocations:
+    """Concurrent trace chains; the request joins on all of them."""
+
+    invocations: Tuple[TraceInvocation, ...]
+
+    def __post_init__(self):
+        if len(self.invocations) < 2:
+            raise ValueError("ParallelInvocations needs at least two chains")
+
+
+PathStep = Union[TraceInvocation, CpuSegment, ParallelInvocations]
+
+#: Field defaults of the *most common* execution (used for static
+#: accounting; the stochastic driver samples around these).
+_MOST_COMMON_DEFAULTS: Dict[str, bool] = {
+    "compressed": False,
+    "hit": True,
+    "found": True,
+    "exception": False,
+    "c_compressed": False,
+}
+
+
+def most_common_state(forced: Mapping[str, bool]) -> Dict[str, bool]:
+    """The deterministic payload-field state of the most common path."""
+    state = dict(_MOST_COMMON_DEFAULTS)
+    state.update(forced)
+    return state
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One microservice/function: path, time breakdown, and load."""
+
+    name: str
+    suite: str
+    #: Unloaded end-to-end execution time on CPU only (Figure 1 bars).
+    total_time_ns: float
+    #: Execution-time fraction per TaxCategory (must sum to ~1).
+    fractions: Mapping[str, float]
+    path: Tuple[PathStep, ...]
+    #: Invocation rate in the production-trace-like experiments (RPS).
+    rate_rps: float
+    #: Median wire-format message size for this service's payloads.
+    wire_median_bytes: float = 1536.0
+    tenant: int = 0
+    #: Priority class under the PRIORITY queue policy (lower wins,
+    #: Section IV-C: requests "tagged with priority levels").
+    priority: int = 0
+
+    def __post_init__(self):
+        total = sum(self.fractions.values())
+        # The paper's own averages sum to 0.999; allow rounding slack.
+        if abs(total - 1.0) > 0.005:
+            raise ValueError(
+                f"service {self.name}: fractions sum to {total:.4f}, expected 1"
+            )
+        if not any(isinstance(step, CpuSegment) for step in self.path):
+            raise ValueError(f"service {self.name}: path has no CPU segment")
+
+    # -- AppLogic ------------------------------------------------------------
+    @property
+    def app_logic_ns(self) -> float:
+        return self.total_time_ns * self.fractions[TaxCategory.APP_LOGIC]
+
+    def cpu_segment_weights(self) -> List[float]:
+        return [s.weight for s in self.path if isinstance(s, CpuSegment)]
+
+    def cpu_segment_ns(self, segment: CpuSegment) -> float:
+        total_weight = sum(self.cpu_segment_weights())
+        return self.app_logic_ns * segment.weight / total_weight
+
+    def category_time_ns(self, category: str) -> float:
+        return self.total_time_ns * self.fractions.get(category, 0.0)
+
+    # -- static path accounting -------------------------------------------------
+    def trace_invocations(self) -> List[TraceInvocation]:
+        """All trace invocations along the path (parallel ones expanded)."""
+        invocations: List[TraceInvocation] = []
+        for step in self.path:
+            if isinstance(step, TraceInvocation):
+                invocations.append(step)
+            elif isinstance(step, ParallelInvocations):
+                invocations.extend(step.invocations)
+        return invocations
+
+    def __repr__(self) -> str:
+        return f"ServiceSpec({self.name}, {self.total_time_ns / 1000:.0f}us)"
+
+
+def expand_chain(
+    registry: TraceRegistry,
+    invocation: TraceInvocation,
+    state: Optional[Dict[str, bool]] = None,
+    max_links: int = 16,
+) -> List[ResolvedPath]:
+    """Follow a chain (entry trace + ATM links) to resolved paths.
+
+    Fanout arms that themselves link to follow-on traces (T6's
+    write-back to T7) are expanded too.
+    """
+    if state is None:
+        state = most_common_state(invocation.forced)
+    paths: List[ResolvedPath] = []
+    pending = [invocation.entry]
+    seen = 0
+    while pending:
+        name = pending.pop(0)
+        seen += 1
+        if seen > max_links:
+            raise ValueError(
+                f"chain from {invocation.entry!r} exceeds {max_links} links"
+            )
+        path = registry.get(name).resolve(state)
+        paths.append(path)
+        if path.next_trace:
+            pending.append(path.next_trace)
+        for arm in path.fanout_paths():
+            if arm.next_trace:
+                pending.append(arm.next_trace)
+    return paths
+
+
+def count_ops_by_category(
+    registry: TraceRegistry, spec: ServiceSpec
+) -> Dict[str, int]:
+    """Accelerator ops per tax category along the most common path."""
+    counts: Dict[str, int] = {category: 0 for category in TaxCategory.TAX}
+    for invocation in spec.trace_invocations():
+        for path in expand_chain(registry, invocation):
+            for kind in _all_kinds(path):
+                counts[CATEGORY_OF_KIND[kind]] += 1
+    return counts
+
+
+def _all_kinds(path: ResolvedPath) -> List[AcceleratorKind]:
+    kinds = list(path.kinds())
+    for step in path.steps:
+        for arm in step.fanout:
+            kinds.extend(_all_kinds(arm))
+    return kinds
+
+
+def total_accelerators(registry: TraceRegistry, spec: ServiceSpec) -> int:
+    """Accelerator invocations per service request (Table IV column #)."""
+    return sum(count_ops_by_category(registry, spec).values())

@@ -1,0 +1,127 @@
+"""Train-Ticket-style services (the third suite of Section III).
+
+The paper's characterization runs over 80 services from DeathStarBench,
+Train Ticket and uSuite; Train Ticket contributes the lowest share of
+conditional accelerator sequences (53.8%). We model six representative
+booking-workflow services whose trace mix leans on the branch-free send
+templates (T2/T3/T8/T9 sends), which is what pushes the conditional
+share below the other suites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .calibration import US, TaxCategory
+from .spec import CpuSegment, ParallelInvocations, ServiceSpec, TraceInvocation
+
+__all__ = ["train_ticket_services"]
+
+_T = TaxCategory
+
+
+def _fractions(app, tcp, encr, rpc, ser, cmp, ldb) -> Dict[str, float]:
+    return {
+        _T.APP_LOGIC: app,
+        _T.TCP: tcp,
+        _T.ENCRYPTION: encr,
+        _T.RPC: rpc,
+        _T.SERIALIZATION: ser,
+        _T.COMPRESSION: cmp,
+        _T.LOAD_BALANCING: ldb,
+    }
+
+
+def train_ticket_services() -> List[ServiceSpec]:
+    """Six representative Train Ticket services."""
+    return [
+        ServiceSpec(
+            name="QueryTrip",
+            suite="trainticket",
+            total_time_ns=1600 * US,
+            fractions=_fractions(0.22, 0.26, 0.14, 0.03, 0.22, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T4", {"hit": True, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=15000.0,
+        ),
+        ServiceSpec(
+            name="BookSeat",
+            suite="trainticket",
+            total_time_ns=2200 * US,
+            fractions=_fractions(0.23, 0.25, 0.15, 0.03, 0.21, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T8c", {"exception": False, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T9", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=6000.0,
+        ),
+        ServiceSpec(
+            name="PayOrder",
+            suite="trainticket",
+            total_time_ns=1900 * US,
+            fractions=_fractions(0.21, 0.25, 0.16, 0.03, 0.22, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T11c", {"compressed": True}),  # payment gateway
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=4000.0,
+        ),
+        ServiceSpec(
+            name="Notify",
+            suite="trainticket",
+            total_time_ns=700 * US,
+            fractions=_fractions(0.18, 0.29, 0.16, 0.04, 0.27, 0.00, 0.06),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                ParallelInvocations(
+                    tuple(TraceInvocation("T9", {"compressed": False})
+                          for _ in range(2))
+                ),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=9000.0,
+            wire_median_bytes=768.0,
+        ),
+        ServiceSpec(
+            name="CancelTicket",
+            suite="trainticket",
+            total_time_ns=1500 * US,
+            fractions=_fractions(0.22, 0.25, 0.15, 0.03, 0.22, 0.09, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T8", {"exception": False}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=3000.0,
+        ),
+        ServiceSpec(
+            name="RouteInfo",
+            suite="trainticket",
+            total_time_ns=900 * US,
+            fractions=_fractions(0.17, 0.29, 0.16, 0.04, 0.28, 0.00, 0.06),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=20000.0,
+            wire_median_bytes=640.0,
+        ),
+    ]

@@ -1,0 +1,109 @@
+"""uSuite-style services (Sriraman & Wenisch, IISWC'18).
+
+The paper's Section III characterization spans DeathStarBench, Train
+Ticket and uSuite. uSuite's four benchmarks are mid-tier leaf services
+— HDSearch (image similarity), Router (replicated key-value routing),
+Set Algebra (document intersection) and Recommend (collaborative
+filtering) — all fan-out-heavy request/response services with small
+payloads and tight latencies, which is how we parameterize them here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .calibration import US, TaxCategory
+from .spec import CpuSegment, ParallelInvocations, ServiceSpec, TraceInvocation
+
+__all__ = ["usuite_services"]
+
+_T = TaxCategory
+
+
+def _fractions(app, tcp, encr, rpc, ser, cmp, ldb) -> Dict[str, float]:
+    return {
+        _T.APP_LOGIC: app,
+        _T.TCP: tcp,
+        _T.ENCRYPTION: encr,
+        _T.RPC: rpc,
+        _T.SERIALIZATION: ser,
+        _T.COMPRESSION: cmp,
+        _T.LOAD_BALANCING: ldb,
+    }
+
+
+def usuite_services() -> List[ServiceSpec]:
+    """The four uSuite benchmarks as service models."""
+    return [
+        # HDSearch: fan out to leaf shards, merge nearest neighbours.
+        ServiceSpec(
+            name="HDSearch",
+            suite="usuite",
+            total_time_ns=1100 * US,
+            fractions=_fractions(0.26, 0.24, 0.14, 0.04, 0.21, 0.07, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": True}),
+                CpuSegment(),
+                ParallelInvocations(
+                    tuple(TraceInvocation("T9", {"compressed": False})
+                          for _ in range(3))
+                ),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=12000.0,
+            wire_median_bytes=1024.0,
+        ),
+        # Router: consistent-hash lookup then a replicated store write.
+        ServiceSpec(
+            name="Router",
+            suite="usuite",
+            total_time_ns=600 * US,
+            fractions=_fractions(0.15, 0.29, 0.16, 0.04, 0.26, 0.04, 0.06),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T8c", {"exception": False, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=25000.0,
+            wire_median_bytes=512.0,
+        ),
+        # Set Algebra: posting-list intersection over cached documents.
+        ServiceSpec(
+            name="SetAlgebra",
+            suite="usuite",
+            total_time_ns=900 * US,
+            fractions=_fractions(0.24, 0.25, 0.14, 0.03, 0.22, 0.08, 0.04),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation("T4", {"hit": True, "compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=16000.0,
+            wire_median_bytes=1536.0,
+        ),
+        # Recommend: user-vector fetch plus model scoring.
+        ServiceSpec(
+            name="McRouter",
+            suite="usuite",
+            total_time_ns=750 * US,
+            fractions=_fractions(0.20, 0.27, 0.15, 0.03, 0.24, 0.05, 0.06),
+            path=(
+                TraceInvocation("T1", {"compressed": False}),
+                CpuSegment(),
+                TraceInvocation(
+                    "T4",
+                    {"hit": False, "found": True, "compressed": False,
+                     "c_compressed": True, "exception": False},
+                ),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=18000.0,
+            wire_median_bytes=896.0,
+        ),
+    ]

@@ -1,0 +1,61 @@
+"""Tests for ASCII charts and the report generator."""
+
+import pytest
+
+from repro.analysis import bar_chart, generate_report, series_chart
+from repro.analysis.report import PAPER_CLAIMS
+from repro.experiments import EXPERIMENTS
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        chart = bar_chart({"accelflow": 10.0, "relief": 30.0}, title="P99")
+        assert "P99" in chart
+        assert "accelflow" in chart and "relief" in chart
+
+    def test_peak_gets_longest_bar(self):
+        chart = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        small_line = [l for l in chart.splitlines() if l.startswith("small")][0]
+        big_line = [l for l in chart.splitlines() if l.startswith("big")][0]
+        assert big_line.count("#") > small_line.count("#")
+
+    def test_empty_values(self):
+        assert bar_chart({}, title="nothing") == "nothing"
+
+    def test_zero_peak_no_bars(self):
+        chart = bar_chart({"a": 0.0})
+        assert "#" not in chart
+
+
+class TestSeriesChart:
+    def test_renders_axis_and_legend(self):
+        chart = series_chart(
+            {"relief": [1.0, 2.0, 4.0], "accelflow": [1.0, 1.2, 1.5]},
+            x_labels=["5K", "10K", "15K"],
+        )
+        assert "5K" in chart and "15K" in chart
+        assert "o=relief" in chart
+        assert "x=accelflow" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            series_chart({"a": [1.0]}, x_labels=["x", "y"])
+
+    def test_empty(self):
+        assert series_chart({}, x_labels=[], title="t") == "t"
+
+
+class TestReport:
+    def test_claims_cover_every_experiment(self):
+        assert set(PAPER_CLAIMS) == set(EXPERIMENTS)
+
+    def test_generate_report_subset(self):
+        report = generate_report(scale="smoke", only=["table4", "table2"])
+        assert "## table4" in report
+        assert "## table2" in report
+        assert "Paper:" in report
+        assert "```text" in report
+
+    def test_report_quotes_paper_claims(self):
+        report = generate_report(scale="smoke", only=["table4"])
+        assert PAPER_CLAIMS["table4"] in report

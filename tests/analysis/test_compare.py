@@ -1,0 +1,75 @@
+"""Tests for the A/B configuration comparison tool."""
+
+import pytest
+
+from repro.analysis.compare import Candidate, compare_configs
+from repro.hw import MachineParams
+from repro.server import RunConfig
+from repro.workloads import social_network_services
+
+SERVICES = [s for s in social_network_services() if s.name == "UniqId"]
+
+
+def quick_config(**kwargs):
+    defaults = dict(
+        architecture="accelflow",
+        requests_per_service=40,
+        arrival_mode="poisson",
+        rate_rps=3000.0,
+        warmup_fraction=0.0,
+    )
+    defaults.update(kwargs)
+    return RunConfig(**defaults)
+
+
+class TestCompareConfigs:
+    def test_basic_comparison(self):
+        comparison = compare_configs(
+            SERVICES,
+            [
+                Candidate("accelflow", quick_config()),
+                Candidate("non-acc", quick_config(architecture="non-acc")),
+            ],
+        )
+        assert comparison.baseline == "accelflow"
+        assert comparison.winner() == "accelflow"
+        assert comparison.p99_speedup("non-acc") < 1.0
+
+    def test_explicit_baseline(self):
+        comparison = compare_configs(
+            SERVICES,
+            [
+                Candidate("a", quick_config()),
+                Candidate("b", quick_config(architecture="relief")),
+            ],
+            baseline="b",
+        )
+        assert comparison.p99_speedup("b") == pytest.approx(1.0)
+        assert comparison.p99_speedup("a") > 1.0
+
+    def test_table_renders(self):
+        comparison = compare_configs(
+            SERVICES,
+            [
+                Candidate("base", quick_config()),
+                Candidate("4pe", quick_config(
+                    machine_params=MachineParams().with_pes(4)
+                )),
+            ],
+        )
+        table = comparison.table()
+        assert "base" in table and "4pe" in table
+        assert "mean P99" in table
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare_configs(SERVICES, [])
+        with pytest.raises(ValueError):
+            compare_configs(
+                SERVICES,
+                [Candidate("x", quick_config()), Candidate("x", quick_config())],
+            )
+        with pytest.raises(ValueError):
+            compare_configs(
+                SERVICES, [Candidate("x", quick_config())], baseline="ghost"
+            )

@@ -1,0 +1,258 @@
+"""Tests for the automated trace compiler (Section IX future work)."""
+
+import pytest
+
+from repro.core import TraceRegistry
+from repro.core.compiler import (
+    CompileError,
+    Convert,
+    Fork,
+    IfField,
+    Offload,
+    SendReceive,
+    TraceCompiler,
+)
+from repro.core.encoding import fits
+from repro.hw import AcceleratorKind
+
+K = AcceleratorKind
+
+
+def compile_program(program, prefix="svc"):
+    return TraceCompiler(prefix).compile(program)
+
+
+class TestLinearPrograms:
+    def test_simple_chain(self):
+        compiled = compile_program(
+            [Offload("Ser"), Offload("Encr"), Offload("TCP")]
+        )
+        assert compiled.entry == "svc"
+        assert len(compiled) == 1
+        path = compiled.traces["svc"].resolve({})
+        assert [k.value for k in path.kinds()] == ["Ser", "Encr", "TCP"]
+        assert path.notified
+
+    def test_conversion_attaches(self):
+        compiled = compile_program(
+            [Offload("Dser"), Convert("json", "string"), Offload("Cmp")]
+        )
+        path = compiled.traces["svc"].resolve({})
+        assert path.steps[0].transforms_after == 1
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program([])
+
+    def test_leading_conversion_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program([Convert("json", "string"), Offload("Ser")])
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program([Offload("Ser"), "not-an-item"])
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program([Offload("Ser"), Convert("json", "yaml")])
+
+
+class TestConditionals:
+    def test_plain_branch_stays_inline(self):
+        compiled = compile_program(
+            [
+                Offload("TCP"),
+                Offload("Dser"),
+                IfField("compressed", then=(Offload("Dcmp"),)),
+                Offload("LdB"),
+            ]
+        )
+        assert len(compiled) == 1
+        trace = compiled.traces["svc"]
+        taken = trace.resolve({"compressed": True})
+        assert K.DCMP in taken.kinds()
+        skipped = trace.resolve({"compressed": False})
+        assert K.DCMP not in skipped.kinds()
+
+    def test_rare_arm_extracted_to_own_trace(self):
+        """The Section IV-B optimization: rare (error) subsequences move
+        into their own ATM-reached trace."""
+        compiled = compile_program(
+            [
+                Offload("TCP"),
+                Offload("Dser"),
+                IfField(
+                    "exception",
+                    then=(Offload("Ser"), Offload("RPC"), Offload("Encr"),
+                          Offload("TCP")),
+                    rare="then",
+                ),
+                Offload("LdB"),
+            ]
+        )
+        assert len(compiled) == 2
+        entry = compiled.traces["svc"]
+        # Common case: small trace, no error bytes.
+        common = entry.resolve({"exception": False})
+        assert [k.value for k in common.kinds()] == ["TCP", "Dser", "LdB"]
+        # Exception: the chain continues in the extracted trace.
+        error_path = entry.resolve({"exception": True})
+        assert error_path.next_trace is not None
+        rare = compiled.traces[error_path.next_trace]
+        assert len(rare.resolve({}).kinds()) == 4
+
+    def test_rare_orelse_extraction(self):
+        compiled = compile_program(
+            [
+                Offload("TCP"),
+                IfField(
+                    "found",
+                    then=(Offload("LdB"),),
+                    orelse=(Offload("Ser"), Offload("TCP")),
+                    rare="orelse",
+                ),
+            ]
+        )
+        missing = compiled.traces["svc"].resolve({"found": False})
+        assert missing.next_trace is not None
+
+    def test_empty_rare_arm_rejected(self):
+        with pytest.raises(CompileError):
+            compile_program(
+                [Offload("TCP"), IfField("exception", then=(), rare="then")]
+            )
+
+    def test_bad_rare_value_rejected(self):
+        with pytest.raises(CompileError):
+            IfField("exception", then=(Offload("Ser"),), rare="sometimes")
+
+
+class TestRoundTrips:
+    def test_send_receive_splits_traces(self):
+        compiled = compile_program(
+            [
+                Offload("Ser"),
+                Offload("Encr"),
+                SendReceive(
+                    request=(Offload("TCP"),),
+                    response=(Offload("TCP"), Offload("Decr"), Offload("LdB")),
+                ),
+            ]
+        )
+        assert len(compiled) == 2
+        entry_path = compiled.traces["svc"].resolve({})
+        assert entry_path.next_trace is not None
+        response = compiled.traces[entry_path.next_trace]
+        assert response.first_kind == K.TCP
+
+    def test_round_trip_must_end_segment(self):
+        with pytest.raises(CompileError):
+            compile_program(
+                [
+                    Offload("Ser"),
+                    SendReceive(request=(Offload("TCP"),),
+                                response=(Offload("TCP"),)),
+                    Offload("LdB"),  # nothing may follow the round trip
+                ]
+            )
+
+    def test_nested_round_trips(self):
+        """A response that itself performs another round trip."""
+        compiled = compile_program(
+            [
+                Offload("Ser"),
+                SendReceive(
+                    request=(Offload("TCP"),),
+                    response=(
+                        Offload("TCP"),
+                        Offload("Ser"),
+                        SendReceive(
+                            request=(Offload("TCP"),),
+                            response=(Offload("TCP"), Offload("LdB")),
+                        ),
+                    ),
+                ),
+            ]
+        )
+        assert len(compiled) == 3
+
+
+class TestForks:
+    def test_fork_lowered_to_parallel(self):
+        compiled = compile_program(
+            [
+                Offload("TCP"),
+                Offload("Dser"),
+                Fork(arms=((Offload("LdB"),), (Offload("Ser"), Offload("TCP")))),
+            ]
+        )
+        path = compiled.traces["svc"].resolve({})
+        assert len(path.steps[-1].fanout) == 2
+
+    def test_fork_must_be_terminal(self):
+        with pytest.raises(CompileError):
+            compile_program(
+                [
+                    Offload("TCP"),
+                    Fork(arms=((Offload("LdB"),), (Offload("Ser"),))),
+                    Offload("Encr"),
+                ]
+            )
+
+
+class TestBudgetAndRegistration:
+    def test_long_programs_split_automatically(self):
+        program = [Offload("Ser") for _ in range(40)]
+        compiled = compile_program(program)
+        assert len(compiled) >= 3
+        for trace in compiled.traces.values():
+            assert fits(trace)
+
+    def test_register_into_registry(self):
+        compiled = compile_program(
+            [
+                Offload("TCP"),
+                IfField("exception", then=(Offload("Ser"), Offload("TCP")),
+                        rare="then"),
+                Offload("LdB"),
+            ]
+        )
+        registry = TraceRegistry()
+        compiled.register_into(registry)
+        registry.validate_closed()
+        assert compiled.entry in registry
+
+    def test_compiled_traces_execute_in_simulation(self):
+        from repro.core import standard_trace_set
+        from repro.server import run_unloaded
+        from repro.workloads import (
+            AVERAGE_TAX_FRACTIONS,
+            CpuSegment,
+            ServiceSpec,
+            TraceInvocation,
+        )
+
+        compiled = compile_program(
+            [
+                Offload("TCP"), Offload("Decr"), Offload("Dser"),
+                IfField("compressed", then=(Offload("Dcmp"),)),
+                Offload("LdB"),
+            ],
+            prefix="compiled_recv",
+        )
+        registry = TraceRegistry(standard_trace_set())
+        compiled.register_into(registry)
+        spec = ServiceSpec(
+            name="Compiled",
+            suite="test",
+            total_time_ns=800_000.0,
+            fractions=dict(AVERAGE_TAX_FRACTIONS),
+            path=(
+                TraceInvocation("compiled_recv", {"compressed": True}),
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=1000.0,
+        )
+        result = run_unloaded("accelflow", spec, requests=5, registry=registry)
+        assert result.completed == 5

@@ -1,0 +1,193 @@
+"""Unit + property tests for the Data Transform Engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DataFormat
+from repro.core.dte import DataTransformEngine, TransformError
+
+DTE = DataTransformEngine()
+
+SAMPLE = {
+    "name": "reader-01",
+    "hits": 42,
+    "ratio": 0.125,
+    "compressed": True,
+    "blob": b"\x00\x01payload\xff",
+}
+
+
+class TestStringFormat:
+    def test_roundtrip(self):
+        assert DTE.from_string(DTE.to_string(SAMPLE)) == SAMPLE
+
+    def test_empty_document(self):
+        assert DTE.from_string(DTE.to_string({})) == {}
+
+    def test_deterministic_ordering(self):
+        a = DTE.to_string({"b": 1, "a": 2})
+        b = DTE.to_string({"a": 2, "b": 1})
+        assert a == b
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.from_string("no-separator-here")
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.from_string("z:key=value")
+
+    def test_key_with_equals_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.to_string({"bad=key": 1})
+
+
+class TestJsonFormat:
+    def test_roundtrip(self):
+        assert DTE.from_json(DTE.to_json(SAMPLE)) == SAMPLE
+
+    def test_bytes_are_base64_tagged(self):
+        text = DTE.to_json({"blob": b"abc"})
+        assert "$b64$" in text
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.from_json("{not json")
+
+    def test_nested_json_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.from_json('{"nested": {"a": 1}}')
+
+
+class TestBsonFormat:
+    def test_roundtrip(self):
+        assert DTE.from_bson(DTE.to_bson(SAMPLE)) == SAMPLE
+
+    def test_framing_length(self):
+        import struct
+
+        data = DTE.to_bson({"k": "v"})
+        (length,) = struct.unpack_from("<i", data, 0)
+        assert length == len(data)
+        assert data[-1:] == b"\x00"
+
+    def test_truncated_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.from_bson(b"\x01\x02")
+
+    def test_corrupt_framing_rejected(self):
+        data = bytearray(DTE.to_bson({"k": 1}))
+        data[0] ^= 0xFF
+        with pytest.raises(TransformError):
+            DTE.from_bson(bytes(data))
+
+    def test_nested_document_rejected(self):
+        # Hand-craft a document with an embedded-document element (0x03).
+        import struct
+
+        body = b"\x03key\x00" + DTE.to_bson({})
+        data = struct.pack("<i", len(body) + 5) + body + b"\x00"
+        with pytest.raises(TransformError, match="nested"):
+            DTE.from_bson(data)
+
+
+class TestProtobufFormat:
+    def test_roundtrip(self):
+        assert DTE.from_protobuf(DTE.to_protobuf(SAMPLE)) == SAMPLE
+
+    def test_varint_boundaries(self):
+        doc = {"big": 2**40, "neg": -5}
+        assert DTE.from_protobuf(DTE.to_protobuf(doc)) == doc
+
+    def test_truncated_varint_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.from_protobuf(b"\xff")
+
+
+class TestValidation:
+    def test_nested_rejected(self):
+        with pytest.raises(TransformError, match="nested"):
+            DTE.to_json({"inner": {"a": 1}})
+
+    def test_custom_type_rejected(self):
+        class Custom:
+            pass
+
+        with pytest.raises(TransformError, match="custom"):
+            DTE.to_string({"x": Custom()})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.encode(["not", "a", "dict"], DataFormat.JSON)
+
+    def test_non_string_key_rejected(self):
+        with pytest.raises(TransformError):
+            DTE.to_bson({1: "x"})
+
+
+class TestTransform:
+    def test_json_to_string(self):
+        text = DTE.to_json(SAMPLE)
+        converted = DTE.transform(text, DataFormat.JSON, DataFormat.STRING)
+        assert DTE.from_string(converted) == SAMPLE
+
+    def test_string_to_bson(self):
+        text = DTE.to_string(SAMPLE)
+        converted = DTE.transform(text, DataFormat.STRING, DataFormat.BSON)
+        assert DTE.from_bson(converted) == SAMPLE
+
+    def test_identity_is_noop(self):
+        text = DTE.to_json(SAMPLE)
+        assert DTE.transform(text, DataFormat.JSON, DataFormat.JSON) is text
+
+    def test_app_object_endpoints(self):
+        wire = DTE.transform(SAMPLE, DataFormat.APP_OBJECT, DataFormat.PROTOBUF)
+        back = DTE.transform(wire, DataFormat.PROTOBUF, DataFormat.APP_OBJECT)
+        assert back == SAMPLE
+
+
+_keys = st.text(
+    alphabet=st.characters(min_codepoint=48, max_codepoint=122,
+                           blacklist_characters="=\\"),
+    min_size=1,
+    max_size=12,
+)
+_values = st.one_of(
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                               blacklist_characters="=\\"),
+        max_size=40,
+    ),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.booleans(),
+    st.binary(max_size=64),
+)
+_documents = st.dictionaries(_keys, _values, max_size=8)
+
+
+class TestRoundTripProperties:
+    @given(_documents)
+    @settings(max_examples=150)
+    def test_bson_roundtrip(self, document):
+        assert DTE.from_bson(DTE.to_bson(document)) == document
+
+    @given(_documents)
+    @settings(max_examples=150)
+    def test_protobuf_roundtrip(self, document):
+        assert DTE.from_protobuf(DTE.to_protobuf(document)) == document
+
+    @given(_documents)
+    @settings(max_examples=150)
+    def test_json_roundtrip(self, document):
+        assert DTE.from_json(DTE.to_json(document)) == document
+
+    @given(_documents)
+    @settings(max_examples=100)
+    def test_cross_format_chain(self, document):
+        """app -> json -> string? No: json -> bson -> json -> app."""
+        as_json = DTE.encode(document, DataFormat.JSON)
+        as_bson = DTE.transform(as_json, DataFormat.JSON, DataFormat.BSON)
+        back = DTE.transform(as_bson, DataFormat.BSON, DataFormat.JSON)
+        assert DTE.decode(back, DataFormat.JSON) == document

@@ -1,0 +1,202 @@
+"""Unit + property tests for the binary trace encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EncodingError,
+    Trace,
+    TraceNameTable,
+    atm_link,
+    branch,
+    decode_trace,
+    encode_trace,
+    encoded_nibbles,
+    fits,
+    notify,
+    seq,
+    split_trace,
+    standard_trace_set,
+    trans,
+)
+from repro.core.nodes import AccelStep
+from repro.hw import ACCEL_KINDS, AcceleratorKind
+
+K = AcceleratorKind
+
+
+class TestEncodeBasics:
+    def test_simple_trace_is_two_bytes(self):
+        trace = seq("Ser", "RPC", "Encr", "TCP", name="t2")
+        data = encode_trace(trace)
+        assert len(data) == 2  # four 4-bit accelerator IDs
+
+    def test_max_size_is_eight_bytes(self):
+        trace = Trace("long", [AccelStep(K.SER) for _ in range(16)])
+        assert len(encode_trace(trace)) == 8
+
+    def test_seventeen_accels_do_not_fit(self):
+        trace = Trace("too-long", [AccelStep(K.SER) for _ in range(17)])
+        assert not fits(trace)
+        with pytest.raises(EncodingError):
+            encode_trace(trace)
+
+    def test_branch_encoding_size(self):
+        trace = seq("TCP", branch("compressed", on_true=["Dcmp"]), "LdB", name="t")
+        # TCP + (branch op, cond, len, Dcmp, len) + LdB = 7 nibbles.
+        assert encoded_nibbles(trace) == 7
+
+    def test_odd_nibble_count_padded(self):
+        trace = seq("TCP", "Decr", "RPC", name="t")
+        data = encode_trace(trace)
+        assert len(data) == 2
+        assert data[1] & 0x0F == 0x0F  # pad nibble
+
+
+class TestRoundTrip:
+    def roundtrip(self, trace):
+        names = TraceNameTable()
+        data = encode_trace(trace, names)
+        return decode_trace(data, name=trace.name, names=names)
+
+    def assert_same_paths(self, original, decoded):
+        original_paths = {
+            tuple(sorted(state.items())): repr(path)
+            for state, path in original.all_paths()
+        }
+        decoded_paths = {
+            tuple(sorted(state.items())): repr(path)
+            for state, path in decoded.all_paths()
+        }
+        assert original_paths == decoded_paths
+
+    def test_linear_roundtrip(self):
+        trace = seq("Ser", "RPC", "Encr", "TCP", name="t2")
+        self.assert_same_paths(trace, self.roundtrip(trace))
+
+    def test_branch_roundtrip(self):
+        trace = seq(
+            "TCP",
+            "Dser",
+            branch("compressed", on_true=[trans("json", "string"), "Dcmp"]),
+            "LdB",
+            name="t1",
+        )
+        self.assert_same_paths(trace, self.roundtrip(trace))
+
+    def test_atm_link_roundtrip(self):
+        trace = seq("Ser", "Encr", "TCP", atm_link("T5"), name="t4")
+        decoded = self.roundtrip(trace)
+        assert decoded.resolve({}).next_trace == "T5"
+
+    def test_notify_error_roundtrip(self):
+        trace = seq("Ser", "TCP", notify(error=True), name="err")
+        decoded = self.roundtrip(trace)
+        assert decoded.resolve({}).error
+
+    def test_all_standard_templates_roundtrip(self):
+        for name, trace in standard_trace_set().items():
+            self.assert_same_paths(trace, self.roundtrip(trace))
+
+    def test_all_standard_templates_fit_in_eight_bytes(self):
+        # The paper: "In our evaluation, we do not observe long traces
+        # requiring splitting."
+        for name, trace in standard_trace_set().items():
+            assert fits(trace), f"{name} does not fit"
+
+
+@st.composite
+def linear_traces(draw):
+    kinds = draw(st.lists(st.sampled_from(list(ACCEL_KINDS)), min_size=1, max_size=16))
+    return Trace("prop", [AccelStep(k) for k in kinds])
+
+
+@st.composite
+def branchy_traces(draw):
+    head = draw(st.sampled_from(list(ACCEL_KINDS)))
+    nodes = [AccelStep(head)]
+    n_branches = draw(st.integers(min_value=0, max_value=2))
+    conditions = draw(
+        st.lists(
+            st.sampled_from(["compressed", "hit", "found", "exception"]),
+            min_size=n_branches,
+            max_size=n_branches,
+            unique=True,
+        )
+    )
+    for cond in conditions:
+        true_kinds = draw(
+            st.lists(st.sampled_from(list(ACCEL_KINDS)), min_size=0, max_size=2)
+        )
+        false_kinds = draw(
+            st.lists(st.sampled_from(list(ACCEL_KINDS)), min_size=0, max_size=2)
+        )
+        nodes.append(
+            branch(cond, [AccelStep(k) for k in true_kinds],
+                   [AccelStep(k) for k in false_kinds])
+        )
+    nodes.append(AccelStep(draw(st.sampled_from(list(ACCEL_KINDS)))))
+    return Trace("prop", nodes)
+
+
+class TestEncodingProperties:
+    @given(linear_traces())
+    @settings(max_examples=100)
+    def test_linear_roundtrip_preserves_kinds(self, trace):
+        decoded = decode_trace(encode_trace(trace))
+        assert decoded.resolve({}).kinds() == trace.resolve({}).kinds()
+
+    @given(linear_traces())
+    @settings(max_examples=100)
+    def test_encoded_size_bounded(self, trace):
+        assert len(encode_trace(trace)) <= 8
+
+    @given(branchy_traces())
+    @settings(max_examples=100)
+    def test_branchy_roundtrip_preserves_all_paths(self, trace):
+        if not fits(trace):
+            return  # too large for a single hardware trace
+        decoded = decode_trace(encode_trace(trace))
+        for state, path in trace.all_paths():
+            assert decoded.resolve(state).kinds() == path.kinds()
+
+    @given(st.integers(min_value=17, max_value=64))
+    @settings(max_examples=30)
+    def test_split_covers_long_chains(self, length):
+        trace = Trace("long", [AccelStep(K.SER) for _ in range(length)])
+        subtraces = split_trace(trace)
+        assert len(subtraces) >= 2
+        total_steps = 0
+        for i, sub in enumerate(subtraces):
+            assert fits(sub)
+            path = sub.resolve({})
+            total_steps += len(path.steps)
+            if i < len(subtraces) - 1:
+                assert path.next_trace == subtraces[i + 1].name
+            else:
+                assert path.next_trace is None
+        assert total_steps == length
+
+
+class TestSplitting:
+    def test_short_trace_untouched(self):
+        trace = seq("Ser", "TCP", name="t")
+        assert split_trace(trace) == [trace]
+
+    def test_split_chain_names(self):
+        trace = Trace("big", [AccelStep(K.TCP) for _ in range(20)])
+        subs = split_trace(trace)
+        assert subs[0].name == "big"
+        assert subs[1].name == "big#1"
+
+    def test_trace_name_table_roundtrip(self):
+        table = TraceNameTable()
+        tid = table.id_of("T5")
+        assert table.name_of(tid) == "T5"
+        assert table.id_of("T5") == tid  # stable
+        assert len(table) == 1
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(EncodingError):
+            TraceNameTable().name_of(42)

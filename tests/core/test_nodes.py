@@ -1,0 +1,131 @@
+"""Unit tests for trace node types and branch conditions."""
+
+import pytest
+
+from repro.core import (
+    CONDITIONS,
+    AccelStep,
+    AtmLinkNode,
+    BranchCondition,
+    BranchNode,
+    DataFormat,
+    NotifyNode,
+    ParallelNode,
+    TraceValidationError,
+    TransformNode,
+)
+from repro.hw import AcceleratorKind
+
+
+class TestBranchCondition:
+    def test_single_field_truthy(self):
+        cond = BranchCondition("compressed", ["compressed"])
+        assert cond.evaluate({"compressed": True})
+        assert not cond.evaluate({"compressed": False})
+
+    def test_missing_field_reads_false(self):
+        cond = BranchCondition("hit", ["hit"])
+        assert not cond.evaluate({})
+
+    def test_and_of_fields(self):
+        cond = BranchCondition("both", ["f1", "f2"], op="and")
+        assert cond.evaluate({"f1": True, "f2": True})
+        assert not cond.evaluate({"f1": True, "f2": False})
+
+    def test_or_of_fields(self):
+        cond = BranchCondition("either", ["f1", "f2"], op="or")
+        assert cond.evaluate({"f1": False, "f2": True})
+        assert not cond.evaluate({})
+
+    def test_rejects_empty_fields(self):
+        with pytest.raises(TraceValidationError):
+            BranchCondition("bad", [])
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(TraceValidationError):
+            BranchCondition("bad", ["f"], op="xor")
+
+    def test_equality_and_hash(self):
+        a = BranchCondition("x", ["f"], op="and")
+        b = BranchCondition("x", ["f"], op="and")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_paper_conditions_registered(self):
+        assert set(CONDITIONS) == {
+            "compressed",
+            "hit",
+            "found",
+            "exception",
+            "c_compressed",
+        }
+
+
+class TestAccelStep:
+    def test_requires_kind(self):
+        with pytest.raises(TraceValidationError):
+            AccelStep("TCP")
+
+    def test_equality(self):
+        assert AccelStep(AcceleratorKind.TCP) == AccelStep(AcceleratorKind.TCP)
+        assert AccelStep(AcceleratorKind.TCP) != AccelStep(AcceleratorKind.SER)
+
+
+class TestBranchNode:
+    def test_resolves_condition_by_name(self):
+        node = BranchNode("compressed", on_true=[], on_false=[])
+        assert node.condition is CONDITIONS["compressed"]
+
+    def test_unknown_condition_name_rejected(self):
+        with pytest.raises(TraceValidationError):
+            BranchNode("no-such-condition", on_true=[], on_false=[])
+
+    def test_arm_selection(self):
+        t = [AccelStep(AcceleratorKind.CMP)]
+        f = [AccelStep(AcceleratorKind.SER)]
+        node = BranchNode("compressed", t, f)
+        assert node.arm(True) == t
+        assert node.arm(False) == f
+
+
+class TestTransformNode:
+    def test_supported_conversion(self):
+        node = TransformNode(DataFormat.JSON, DataFormat.STRING)
+        assert node.src == DataFormat.JSON
+
+    def test_identity_rejected(self):
+        with pytest.raises(TraceValidationError):
+            TransformNode(DataFormat.JSON, DataFormat.JSON)
+
+    def test_unsupported_conversion_rejected(self):
+        # The simplified DTE cannot go json -> protobuf.
+        with pytest.raises(TraceValidationError):
+            TransformNode(DataFormat.JSON, DataFormat.PROTOBUF)
+
+    def test_equality(self):
+        a = TransformNode(DataFormat.JSON, DataFormat.STRING)
+        b = TransformNode(DataFormat.JSON, DataFormat.STRING)
+        assert a == b
+
+
+class TestParallelNode:
+    def test_needs_two_arms(self):
+        with pytest.raises(TraceValidationError):
+            ParallelNode([[AccelStep(AcceleratorKind.LDB)]])
+
+    def test_holds_arms(self):
+        node = ParallelNode(
+            [[AccelStep(AcceleratorKind.LDB)], [AccelStep(AcceleratorKind.SER)]]
+        )
+        assert len(node.arms) == 2
+
+
+class TestTailNodes:
+    def test_atm_link_needs_name(self):
+        with pytest.raises(TraceValidationError):
+            AtmLinkNode("")
+        assert AtmLinkNode("T5").next_trace == "T5"
+
+    def test_notify_error_flag(self):
+        assert not NotifyNode().error
+        assert NotifyNode(error=True).error

@@ -1,0 +1,74 @@
+"""Tests for trace rendering (ASCII + Graphviz dot)."""
+
+import pytest
+
+from repro.core import standard_trace_set
+from repro.core.render import render_ascii, render_dot
+from repro.core.templates import (
+    t1_receive_function_request,
+    t4_send_db_cache_read,
+    t6_receive_db_read_response,
+)
+
+
+class TestAsciiRendering:
+    def test_linear_trace(self):
+        from repro.core import seq
+
+        text = render_ascii(seq("Ser", "RPC", "Encr", "TCP", name="t2"))
+        assert "trace t2:" in text
+        assert "[Ser] -> [RPC] -> [Encr] -> [TCP]" in text
+        assert "notify CPU" in text
+
+    def test_t1_shows_branch_and_transform(self):
+        text = render_ascii(t1_receive_function_request())
+        assert "? compressed" in text
+        assert "{json->string}" in text
+        assert "[Dcmp]" in text
+        assert "no : (continue)" in text
+
+    def test_t4_shows_atm_link(self):
+        text = render_ascii(t4_send_db_cache_read())
+        assert "-> ATM: T5 *" in text
+
+    def test_t6_shows_parallel_fork(self):
+        text = render_ascii(t6_receive_db_read_response())
+        assert "parallel:" in text
+        assert "arm 1:" in text and "arm 2:" in text
+
+    def test_all_templates_render(self):
+        for trace in standard_trace_set().values():
+            text = render_ascii(trace)
+            assert text.startswith(f"trace {trace.name}:")
+            assert len(text.splitlines()) >= 2
+
+
+class TestDotRendering:
+    def test_valid_digraph_structure(self):
+        dot = render_dot(t1_receive_function_request())
+        assert dot.startswith('digraph "T1" {')
+        assert dot.rstrip().endswith("}")
+        assert "rankdir=LR" in dot
+
+    def test_branch_rendered_as_diamond(self):
+        dot = render_dot(t1_receive_function_request())
+        assert "shape=diamond" in dot
+        assert "compressed?" in dot
+
+    def test_every_accelerator_appears(self):
+        dot = render_dot(t1_receive_function_request())
+        for name in ("TCP", "Decr", "RPC", "Dser", "Dcmp", "LdB"):
+            assert f'label="{name}"' in dot
+
+    def test_edges_reference_defined_nodes(self):
+        import re
+
+        dot = render_dot(t6_receive_db_read_response())
+        defined = set(re.findall(r"^\s*(n\d+) \[", dot, re.MULTILINE))
+        for src, dst in re.findall(r"(n\d+) -> (n\d+);", dot):
+            assert src in defined and dst in defined
+
+    def test_all_templates_render_dot(self):
+        for trace in standard_trace_set().values():
+            dot = render_dot(trace)
+            assert "digraph" in dot

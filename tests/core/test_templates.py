@@ -1,0 +1,157 @@
+"""Tests for the paper's trace catalogue T1-T12 (Table II)."""
+
+import pytest
+
+from repro.core import T_ERR, TraceRegistry, standard_trace_set
+from repro.core.templates import (
+    t1_receive_function_request,
+    t5_receive_db_cache_read_response,
+    t6_receive_db_read_response,
+    t7_receive_db_write_response,
+    t8_send_db_write,
+    t9_send_rpc_request,
+    t10_receive_rpc_response,
+)
+from repro.hw import AcceleratorKind
+
+K = AcceleratorKind
+
+
+class TestT1:
+    def test_uncompressed_path(self):
+        path = t1_receive_function_request().resolve({"compressed": False})
+        assert path.kinds() == [K.TCP, K.DECR, K.RPC, K.DSER, K.LDB]
+        assert path.notified
+
+    def test_compressed_path_adds_dcmp_and_transform(self):
+        path = t1_receive_function_request().resolve({"compressed": True})
+        assert path.kinds() == [K.TCP, K.DECR, K.RPC, K.DSER, K.DCMP, K.LDB]
+        assert path.steps[3].transforms_after == 1
+
+
+class TestSendTraces:
+    def test_t2_figure_2a_sequence(self):
+        trace = standard_trace_set()["T2"]
+        assert trace.resolve({}).kinds() == [K.SER, K.RPC, K.ENCR, K.TCP]
+
+    def test_t3_compresses_first_without_branch(self):
+        trace = standard_trace_set()["T3"]
+        path = trace.resolve({})
+        assert path.kinds()[0] == K.CMP
+        assert not trace.has_branches
+
+    def test_t4_links_to_t5(self):
+        trace = standard_trace_set()["T4"]
+        path = trace.resolve({})
+        assert path.kinds() == [K.SER, K.ENCR, K.TCP]
+        assert path.next_trace == "T5"
+
+
+class TestT5:
+    def test_hit_path_ends_at_core(self):
+        path = t5_receive_db_cache_read_response().resolve(
+            {"compressed": False, "hit": True}
+        )
+        assert path.kinds() == [K.TCP, K.DECR, K.DSER, K.LDB]
+        assert path.notified
+
+    def test_miss_path_reads_db(self):
+        path = t5_receive_db_cache_read_response().resolve(
+            {"compressed": False, "hit": False}
+        )
+        assert path.kinds() == [K.TCP, K.DECR, K.DSER, K.SER, K.ENCR, K.TCP]
+        assert path.next_trace == "T6"
+
+    def test_compressed_hit_includes_dcmp(self):
+        path = t5_receive_db_cache_read_response().resolve(
+            {"compressed": True, "hit": True}
+        )
+        assert K.DCMP in path.kinds()
+
+
+class TestT6:
+    def test_not_found_reports_error_via_atm(self):
+        path = t6_receive_db_read_response().resolve({"found": False})
+        assert path.next_trace == T_ERR
+        assert not path.notified
+
+    def test_found_forks_cpu_and_writeback(self):
+        path = t6_receive_db_read_response().resolve(
+            {"found": True, "compressed": False, "c_compressed": False}
+        )
+        fork = path.steps[-1]
+        assert len(fork.fanout) == 2
+        critical = [arm for arm in fork.fanout if arm.notified]
+        background = [arm for arm in fork.fanout if not arm.notified]
+        assert critical[0].kinds() == [K.LDB]
+        assert background[0].next_trace == "T7"
+
+    def test_c_compressed_recompresses_for_cache(self):
+        path = t6_receive_db_read_response().resolve(
+            {"found": True, "compressed": True, "c_compressed": True}
+        )
+        background = [arm for arm in path.steps[-1].fanout if not arm.notified][0]
+        assert background.kinds()[0] == K.CMP
+
+
+class TestT7AndErrors:
+    def test_exception_goes_to_error_trace(self):
+        path = t7_receive_db_write_response().resolve({"exception": True})
+        assert path.next_trace == T_ERR
+
+    def test_normal_path_notifies(self):
+        path = t7_receive_db_write_response().resolve({"exception": False})
+        assert path.kinds() == [K.TCP, K.DECR, K.DSER, K.LDB]
+        assert path.notified
+
+    def test_error_trace_is_four_accelerators(self):
+        err = standard_trace_set()[T_ERR]
+        path = err.resolve({})
+        assert len(path.kinds()) == 4
+        assert path.error
+
+
+class TestOptionalCompression:
+    def test_t8_with_and_without_cmp(self):
+        plain = t8_send_db_write(with_cmp=False).resolve({})
+        compressed = t8_send_db_write(with_cmp=True).resolve({})
+        assert K.CMP not in plain.kinds()
+        assert compressed.kinds()[0] == K.CMP
+        assert plain.next_trace == compressed.next_trace == "T7"
+
+    def test_t9_links_to_t10(self):
+        path = t9_send_rpc_request().resolve({})
+        assert path.kinds() == [K.SER, K.RPC, K.ENCR, K.TCP]
+        assert path.next_trace == "T10"
+
+    def test_t10_exception_and_compression(self):
+        ok = t10_receive_rpc_response().resolve(
+            {"exception": False, "compressed": True}
+        )
+        assert K.DCMP in ok.kinds()
+        bad = t10_receive_rpc_response().resolve({"exception": True})
+        assert bad.next_trace == T_ERR
+
+
+class TestCatalogue:
+    def test_all_names_present(self):
+        traces = standard_trace_set()
+        for name in ["T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9",
+                     "T10", "T11", "T12", T_ERR]:
+            assert name in traces
+
+    def test_registry_is_closed(self):
+        registry = TraceRegistry.with_standard_templates()
+        registry.validate_closed()  # no dangling ATM links
+
+    def test_branch_statistics_match_paper_narrative(self):
+        """Most receive-side traces have at least one conditional."""
+        traces = standard_trace_set()
+        with_branches = [t for t in traces.values() if t.has_branches]
+        assert len(with_branches) >= 6
+
+    def test_t11_t12_http_pair(self):
+        traces = standard_trace_set()
+        assert traces["T11"].resolve({}).next_trace == "T12"
+        t12 = traces["T12"].resolve({"compressed": False})
+        assert K.RPC not in t12.kinds()  # HTTP has no RPC stage

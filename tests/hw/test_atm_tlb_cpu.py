@@ -1,0 +1,200 @@
+"""Unit tests for the ATM, TLB/IOMMU and CPU core pool models."""
+
+import pytest
+
+from repro.hw import AtmFullError, AtmMemory, CorePool, CpuParams, Iommu, TlbModel
+from repro.hw.params import AtmParams, TlbParams
+from repro.sim import Environment, RandomStreams
+
+
+class TestAtm:
+    def test_store_and_peek(self):
+        env = Environment()
+        atm = AtmMemory(env)
+        addr = atm.store("trace-a")
+        assert atm.peek(addr) == "trace-a"
+        assert len(atm) == 1
+        assert atm.writes == 1
+
+    def test_addresses_unique(self):
+        env = Environment()
+        atm = AtmMemory(env)
+        addrs = {atm.store(i) for i in range(100)}
+        assert len(addrs) == 100
+
+    def test_read_pays_latency(self):
+        env = Environment()
+        atm = AtmMemory(env, AtmParams(read_latency_ns=42.0))
+        addr = atm.store("t")
+
+        def proc(env):
+            trace = yield env.process(atm.read(addr))
+            return (env.now, trace)
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (42.0, "t")
+        assert atm.reads == 1
+
+    def test_read_unknown_address_raises(self):
+        env = Environment()
+        atm = AtmMemory(env)
+        with pytest.raises(KeyError):
+            # Generator raises on creation of the process run.
+            env.process(atm.read(999))
+            env.run()
+
+    def test_capacity_enforced(self):
+        env = Environment()
+        atm = AtmMemory(env, AtmParams(capacity_traces=2))
+        atm.store("a")
+        atm.store("b")
+        with pytest.raises(AtmFullError):
+            atm.store("c")
+
+    def test_free_releases_slot(self):
+        env = Environment()
+        atm = AtmMemory(env, AtmParams(capacity_traces=1))
+        addr = atm.store("a")
+        atm.free(addr)
+        atm.store("b")  # no AtmFullError
+
+
+class TestTlb:
+    def make_tlb(self, miss_p, fault_p, seed=0):
+        env = Environment()
+        params = TlbParams(
+            miss_probability=miss_p,
+            page_fault_probability=fault_p,
+            walk_latency_ns=100.0,
+            page_fault_service_ns=10000.0,
+        )
+        iommu = Iommu(env, params.walk_latency_ns)
+        tlb = TlbModel(env, params, iommu, RandomStreams(seed).stream("tlb"))
+        return env, tlb
+
+    def run_translations(self, env, tlb, n):
+        outcomes = []
+
+        def proc(env):
+            for _ in range(n):
+                outcome = yield env.process(tlb.translate())
+                outcomes.append(outcome)
+
+        env.process(proc(env))
+        env.run()
+        return outcomes
+
+    def test_always_hit_costs_nothing(self):
+        env, tlb = self.make_tlb(0.0, 0.0)
+        outcomes = self.run_translations(env, tlb, 50)
+        assert all(o.hit for o in outcomes)
+        assert env.now == 0.0
+        assert tlb.miss_rate() == 0.0
+
+    def test_always_miss_pays_walk(self):
+        env, tlb = self.make_tlb(1.0, 0.0)
+        outcomes = self.run_translations(env, tlb, 10)
+        assert all(not o.hit and not o.page_fault for o in outcomes)
+        assert env.now == pytest.approx(10 * 100.0)
+        assert tlb.miss_rate() == 1.0
+        assert tlb.iommu.walks == 10
+
+    def test_page_fault_pays_service(self):
+        env, tlb = self.make_tlb(0.0, 1.0)
+        outcomes = self.run_translations(env, tlb, 3)
+        assert all(o.page_fault for o in outcomes)
+        assert env.now == pytest.approx(3 * 10000.0)
+        assert tlb.page_faults == 3
+
+    def test_statistical_miss_rate(self):
+        env, tlb = self.make_tlb(0.1, 0.0)
+        self.run_translations(env, tlb, 5000)
+        assert abs(tlb.miss_rate() - 0.1) < 0.02
+
+    def test_stats_keys(self):
+        env, tlb = self.make_tlb(0.5, 0.0)
+        self.run_translations(env, tlb, 10)
+        stats = tlb.stats()
+        assert set(stats) == {"accesses", "misses", "page_faults", "miss_rate"}
+        assert stats["accesses"] == 10
+
+
+class TestCorePool:
+    def test_execute_holds_core(self):
+        env = Environment()
+        pool = CorePool(env, CpuParams(cores=1))
+        finish = []
+
+        def proc(env, name):
+            yield env.process(pool.execute(100.0))
+            finish.append((name, env.now))
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert finish == [("a", 100.0), ("b", 200.0)]
+
+    def test_negative_duration_rejected(self):
+        env = Environment()
+        pool = CorePool(env, CpuParams(cores=1))
+        with pytest.raises(ValueError):
+            env.process(pool.execute(-1.0))
+            env.run()
+
+    def test_parallel_cores(self):
+        env = Environment()
+        pool = CorePool(env, CpuParams(cores=4))
+
+        def proc(env):
+            yield env.process(pool.execute(100.0))
+
+        for _ in range(4):
+            env.process(proc(env))
+        env.run()
+        assert env.now == 100.0
+
+    def test_interrupt_priority_jumps_queue(self):
+        env = Environment()
+        pool = CorePool(env, CpuParams(cores=1))
+        order = []
+
+        def busy(env):
+            yield env.process(pool.execute(100.0))
+            order.append("first-app")
+
+        def app(env):
+            yield env.timeout(1.0)
+            yield env.process(pool.execute(100.0))
+            order.append("second-app")
+
+        def irq(env):
+            yield env.timeout(2.0)
+            yield env.process(pool.handle_interrupt(10.0))
+            order.append("irq")
+
+        env.process(busy(env))
+        env.process(app(env))
+        env.process(irq(env))
+        env.run()
+        assert order == ["first-app", "irq", "second-app"]
+        assert pool.interrupts == 1
+
+    def test_utilization_accounting(self):
+        env = Environment()
+        pool = CorePool(env, CpuParams(cores=2))
+
+        def proc(env):
+            yield env.process(pool.execute(50.0))
+            yield env.timeout(50.0)
+
+        env.process(proc(env))
+        env.run()
+        # 1 core busy for 50 of 100 ns over 2 cores => 25%.
+        assert pool.utilization() == pytest.approx(0.25)
+        assert pool.busy_ns == pytest.approx(50.0)
+
+    def test_notification_cost_is_80_cycles(self):
+        env = Environment()
+        pool = CorePool(env, CpuParams())
+        assert pool.notification_ns() == pytest.approx(80 / 2.4)

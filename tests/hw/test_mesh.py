@@ -1,0 +1,120 @@
+"""Tests for the coordinate-level mesh topology (opt-in NoC fidelity)."""
+
+import dataclasses
+
+import pytest
+
+from repro.hw import AcceleratorKind, MachineParams, Network, chiplet_layout
+from repro.hw.mesh import PORTAL, MeshTopology, build_chiplet_meshes
+from repro.hw.params import NocParams
+from repro.sim import Environment
+
+K = AcceleratorKind
+
+
+class TestMeshTopology:
+    def test_places_all_members(self):
+        mesh = MeshTopology(["a", "b", "c", "d"])
+        for member in ("a", "b", "c", "d", PORTAL):
+            coordinate = mesh.coordinate_of(member)
+            assert 0 <= coordinate[0] < mesh.side
+            assert 0 <= coordinate[1] < mesh.side
+
+    def test_coordinates_unique(self):
+        mesh = MeshTopology(list("abcdefgh"))
+        coords = [mesh.coordinate_of(m) for m in list("abcdefgh") + [PORTAL]]
+        assert len(set(coords)) == len(coords)
+
+    def test_hops_are_manhattan(self):
+        mesh = MeshTopology(["a", "b"])
+        ax, ay = mesh.coordinate_of("a")
+        bx, by = mesh.coordinate_of("b")
+        assert mesh.hops("a", "b") == abs(ax - bx) + abs(ay - by)
+
+    def test_hops_symmetric_and_zero_on_self(self):
+        mesh = MeshTopology(["a", "b", "c"])
+        assert mesh.hops("a", "b") == mesh.hops("b", "a")
+        assert mesh.hops("a", "a") == 0
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(KeyError):
+            MeshTopology(["a"]).hops("a", "ghost")
+
+    def test_average_hops_reasonable(self):
+        mesh = MeshTopology(list(AcceleratorKind)[:8])
+        # A 3x3 grid's average pairwise Manhattan distance is ~2.
+        assert 1.0 <= mesh.average_hops() <= 4.0
+
+
+class TestBuildChipletMeshes:
+    def test_two_chiplet_layout(self):
+        meshes = build_chiplet_meshes(chiplet_layout(2))
+        assert set(meshes) == {0, 1}
+        assert meshes[0].members == [K.LDB]
+        assert len(meshes[1].members) == 8
+
+    def test_six_chiplet_layout(self):
+        meshes = build_chiplet_meshes(chiplet_layout(6))
+        assert set(meshes) == {0, 1, 2, 3, 4, 5}
+        assert meshes[1].members == [K.TCP]
+
+
+class TestDetailedNetwork:
+    def make(self, detailed):
+        env = Environment()
+        params = dataclasses.replace(
+            MachineParams(), noc=NocParams(detailed_mesh=detailed)
+        )
+        return env, Network(env, params)
+
+    def test_detailed_distances_vary_by_pair(self):
+        _, net = self.make(detailed=True)
+        estimates = {
+            (a, b): net.estimate_ns(a, b, 64)
+            for a in (K.TCP, K.SER)
+            for b in (K.ENCR, K.CMP)
+        }
+        assert len(set(estimates.values())) > 1  # not one flat latency
+
+    def test_default_model_is_flat(self):
+        _, net = self.make(detailed=False)
+        a = net.estimate_ns(K.TCP, K.ENCR, 64)
+        b = net.estimate_ns(K.SER, K.CMP, 64)
+        assert a == pytest.approx(b)
+
+    def test_detailed_close_to_average_model(self):
+        """Opting in must not change latencies wholesale: the mean over
+        pairs stays within ~2x of the calibrated average model."""
+        _, flat = self.make(detailed=False)
+        _, detailed = self.make(detailed=True)
+        kinds = [k for k in K if k is not K.LDB]
+        pairs = [(a, b) for a in kinds for b in kinds if a is not b]
+        flat_mean = sum(flat.estimate_ns(a, b, 256) for a, b in pairs) / len(pairs)
+        detailed_mean = sum(
+            detailed.estimate_ns(a, b, 256) for a, b in pairs
+        ) / len(pairs)
+        assert detailed_mean == pytest.approx(flat_mean, rel=1.0)
+
+    def test_transfer_runs_with_detailed_mesh(self):
+        env, net = self.make(detailed=True)
+
+        def proc(env):
+            yield env.process(net.transfer(K.TCP, "cpu", 512))
+            yield env.process(net.transfer(K.SER, K.CMP, 512))
+
+        env.process(proc(env))
+        env.run()
+        assert net.stats()["bytes_moved"] == 1024
+
+    def test_end_to_end_request_with_detailed_mesh(self):
+        from repro.server import SimulatedServer
+        from repro.workloads import social_network_services
+
+        params = dataclasses.replace(
+            MachineParams(), noc=NocParams(detailed_mesh=True)
+        )
+        server = SimulatedServer("accelflow", machine_params=params)
+        spec = social_network_services()[6]  # UniqId
+        request = server.make_request(spec)
+        server.env.run(until=server.submit(request))
+        assert request.completed

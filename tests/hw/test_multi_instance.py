@@ -1,0 +1,98 @@
+"""Tests for multi-instance accelerator support (Section IV-A: "one or
+more instances of all the accelerators")."""
+
+import pytest
+
+from repro.hw import AccelOp, AcceleratorKind, MachineParams, QueueEntry, ServerHardware
+from repro.hw.params import AcceleratorParams
+from repro.server import SimulatedServer
+from repro.sim import Environment, RandomStreams
+from repro.workloads import social_network_services
+
+K = AcceleratorKind
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+def make_hardware(instances=2, **accel_kwargs):
+    env = Environment()
+    params = MachineParams(
+        accelerator=AcceleratorParams(instances=instances, **accel_kwargs)
+    )
+    return env, ServerHardware(env, params, RandomStreams(0))
+
+
+class TestInstancePools:
+    def test_default_is_single_instance(self):
+        env, hardware = make_hardware(instances=1)
+        for kind in K:
+            assert len(hardware.instances[kind]) == 1
+
+    def test_requested_instance_count(self):
+        env, hardware = make_hardware(instances=3)
+        for kind in K:
+            assert len(hardware.instances[kind]) == 3
+        assert len(hardware.all_accelerators()) == 3 * len(list(K))
+
+    def test_accel_returns_least_occupied(self):
+        env, hardware = make_hardware(instances=2)
+        first, second = hardware.instances[K.SER]
+        op = AccelOp(K.SER, 1000.0, 64, 64)
+        # Load up the first instance directly.
+        first.try_enqueue(QueueEntry(env, op))
+        first.try_enqueue(QueueEntry(env, op))
+        assert hardware.accel(K.SER) is second
+
+    def test_stats_aggregate_instances(self):
+        env, hardware = make_hardware(instances=2)
+        stats = hardware.stats()["accelerators"]["TCP"]
+        assert stats["instances"] == 2.0
+
+
+class TestMultiInstanceExecution:
+    def test_requests_complete_with_instances(self):
+        server = SimulatedServer(
+            "accelflow", machine_params=MachineParams().with_instances(2)
+        )
+        spec = SERVICES["StoreP"]
+        requests = [server.make_request(spec) for _ in range(6)]
+        procs = [server.submit(r) for r in requests]
+        server.env.run(until=server.env.all_of(procs))
+        assert all(r.completed for r in requests)
+
+    def test_work_spreads_across_instances(self):
+        server = SimulatedServer(
+            "accelflow", machine_params=MachineParams().with_instances(2)
+        )
+        spec = SERVICES["CPost"]  # heavily parallel: both instances used
+        requests = [server.make_request(spec) for _ in range(6)]
+        procs = [server.submit(r) for r in requests]
+        server.env.run(until=server.env.all_of(procs))
+        busy = [a.ops_completed for a in server.hardware.instances[K.TCP]]
+        assert all(count > 0 for count in busy)
+
+    def test_instances_relieve_tiny_queues(self):
+        """With 1-entry queues, a second instance absorbs the overflow
+        that would otherwise force CPU fallback."""
+
+        def fallbacks(instances):
+            params = MachineParams(
+                accelerator=AcceleratorParams(
+                    pes=1, input_queue_entries=1, overflow_entries=1,
+                    instances=instances,
+                )
+            )
+            server = SimulatedServer("accelflow", machine_params=params)
+            spec = SERVICES["CPost"]
+            requests = [server.make_request(spec) for _ in range(4)]
+            procs = [server.submit(r) for r in requests]
+            server.env.run(until=server.env.all_of(procs))
+            return server.orchestrator.fallbacks
+
+        assert fallbacks(instances=4) <= fallbacks(instances=1)
+
+    def test_relief_retire_hooks_cover_all_instances(self):
+        server = SimulatedServer(
+            "relief", machine_params=MachineParams().with_instances(2)
+        )
+        for accel in server.hardware.all_accelerators():
+            assert accel.retire_hook is not None

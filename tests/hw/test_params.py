@@ -1,0 +1,165 @@
+"""Unit tests for architectural parameters."""
+
+import pytest
+
+from repro.hw import (
+    ACCEL_KINDS,
+    DEFAULT_SPEEDUPS,
+    AcceleratorKind,
+    AcceleratorParams,
+    MachineParams,
+    NocParams,
+    PROCESSOR_GENERATIONS,
+    chiplet_layout,
+    cycles_to_ns,
+)
+
+
+def test_nine_accelerator_kinds():
+    assert len(ACCEL_KINDS) == 9
+    names = {kind.value for kind in ACCEL_KINDS}
+    assert names == {"TCP", "Encr", "Decr", "RPC", "Ser", "Dser", "Cmp", "Dcmp", "LdB"}
+
+
+def test_cycles_to_ns_at_default_clock():
+    # 2.4 GHz: 60 cycles = 25 ns (paper's inter-chiplet latency).
+    assert cycles_to_ns(60.0) == pytest.approx(25.0)
+    assert cycles_to_ns(80.0) == pytest.approx(33.333, rel=1e-3)
+
+
+def test_default_speedups_match_paper():
+    assert DEFAULT_SPEEDUPS[AcceleratorKind.TCP] == 3.5
+    assert DEFAULT_SPEEDUPS[AcceleratorKind.ENCR] == 6.6
+    assert DEFAULT_SPEEDUPS[AcceleratorKind.RPC] == 20.5
+    assert DEFAULT_SPEEDUPS[AcceleratorKind.SER] == 3.8
+    assert DEFAULT_SPEEDUPS[AcceleratorKind.CMP] == 15.2
+    assert DEFAULT_SPEEDUPS[AcceleratorKind.DCMP] == 4.1
+    assert DEFAULT_SPEEDUPS[AcceleratorKind.LDB] == 8.1
+
+
+class TestAcceleratorParams:
+    def test_paper_defaults(self):
+        params = AcceleratorParams()
+        assert params.pes == 8
+        assert params.input_queue_entries == 64
+        assert params.output_queue_entries == 64
+        assert params.scratchpad_kb == 64
+        assert params.inline_data_bytes == 2048
+
+    def test_scratchpad_transfer_small_payload(self):
+        params = AcceleratorParams()
+        # 10 ns latency + 1KB at 100 GB/s (= 100 B/ns) = 10 + 10.24 ns.
+        assert params.scratchpad_transfer_ns(1024) == pytest.approx(20.24)
+
+    def test_scratchpad_transfer_caps_at_inline(self):
+        params = AcceleratorParams()
+        assert params.scratchpad_transfer_ns(64 * 1024) == pytest.approx(
+            10.0 + 2048 / 100.0
+        )
+
+    def test_memory_fetch_zero_when_inline(self):
+        params = AcceleratorParams()
+        assert params.memory_fetch_ns(2048) == 0.0
+
+    def test_memory_fetch_charges_spill(self):
+        params = AcceleratorParams()
+        cost = params.memory_fetch_ns(4096)
+        assert cost == pytest.approx(15.0 + 2048 / 50.0)
+
+
+class TestNocParams:
+    def test_mesh_latency(self):
+        noc = NocParams()
+        # 3 hops * 3 cycles at 2.4 GHz = 3.75 ns.
+        assert noc.mesh_latency_ns(3.0) == pytest.approx(3.75)
+
+    def test_mesh_serialization_rounds_up_flits(self):
+        noc = NocParams()
+        one_flit = noc.mesh_serialization_ns(1)
+        assert one_flit == noc.mesh_serialization_ns(16)
+        assert noc.mesh_serialization_ns(17) > one_flit
+
+    def test_inter_chiplet_latency_is_60_cycles(self):
+        noc = NocParams()
+        assert noc.inter_chiplet_latency_ns() == pytest.approx(25.0)
+
+
+class TestChipletLayouts:
+    def test_all_paper_layouts_exist(self):
+        for count in (1, 2, 3, 4, 6):
+            layout = chiplet_layout(count)
+            assert layout.chiplet_count == count
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            chiplet_layout(5)
+
+    def test_ldb_always_on_core_chiplet(self):
+        for count in (1, 2, 3, 4, 6):
+            assert chiplet_layout(count).chiplet_of(AcceleratorKind.LDB) == 0
+
+    def test_base_layout_separates_cores_and_accels(self):
+        layout = chiplet_layout(2)
+        assert layout.chiplet_of(AcceleratorKind.TCP) == 1
+        assert not layout.same_chiplet(AcceleratorKind.LDB, AcceleratorKind.TCP)
+        assert layout.same_chiplet(AcceleratorKind.TCP, AcceleratorKind.CMP)
+
+    def test_six_chiplet_layout_splits_groups(self):
+        layout = chiplet_layout(6)
+        assert not layout.same_chiplet(AcceleratorKind.TCP, AcceleratorKind.ENCR)
+        assert layout.same_chiplet(AcceleratorKind.ENCR, AcceleratorKind.DECR)
+        assert layout.same_chiplet(AcceleratorKind.SER, AcceleratorKind.DSER)
+
+
+class TestProcessorGenerations:
+    def test_five_generations(self):
+        assert set(PROCESSOR_GENERATIONS) == {
+            "haswell",
+            "skylake",
+            "icelake",
+            "sapphire-rapids",
+            "emerald-rapids",
+        }
+
+    def test_icelake_is_baseline(self):
+        gen = PROCESSOR_GENERATIONS["icelake"]
+        assert gen.app_logic_scale == 1.0
+        assert gen.tax_scale == 1.0
+
+    def test_newer_generations_help_app_logic_more_than_tax(self):
+        order = ["haswell", "skylake", "icelake", "sapphire-rapids", "emerald-rapids"]
+        for older, newer in zip(order, order[1:]):
+            old_gen = PROCESSOR_GENERATIONS[older]
+            new_gen = PROCESSOR_GENERATIONS[newer]
+            assert new_gen.app_logic_scale < old_gen.app_logic_scale
+            assert new_gen.tax_scale <= old_gen.tax_scale
+        for gen in PROCESSOR_GENERATIONS.values():
+            # Tax code benefits less from wide cores than app logic.
+            assert abs(gen.tax_scale - 1.0) <= abs(gen.app_logic_scale - 1.0)
+
+
+class TestMachineParams:
+    def test_defaults(self):
+        params = MachineParams()
+        assert params.cpu.cores == 36
+        assert params.dma_engines == 10
+        assert params.layout.chiplet_count == 2
+        assert params.speedup_scale == 1.0
+
+    def test_speedup_of_applies_scale(self):
+        params = MachineParams().with_speedup_scale(2.0)
+        assert params.speedup_of(AcceleratorKind.TCP) == pytest.approx(7.0)
+
+    def test_with_pes(self):
+        params = MachineParams().with_pes(4)
+        assert params.accelerator.pes == 4
+        assert MachineParams().accelerator.pes == 8  # original untouched
+
+    def test_with_layout_and_generation(self):
+        params = MachineParams().with_layout(6).with_generation("haswell")
+        assert params.layout.chiplet_count == 6
+        assert params.generation.name == "haswell"
+
+    def test_with_inter_chiplet_cycles(self):
+        params = MachineParams().with_inter_chiplet_cycles(100.0)
+        assert params.noc.inter_chiplet_cycles == 100.0

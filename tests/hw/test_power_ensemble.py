@@ -1,0 +1,126 @@
+"""Unit tests for the power model and the assembled server hardware."""
+
+import pytest
+
+from repro.hw import (
+    ACCEL_KINDS,
+    AccelOp,
+    AcceleratorKind,
+    AreaModel,
+    EnergyModel,
+    MachineParams,
+    QueueEntry,
+    ServerHardware,
+)
+from repro.sim import Environment, RandomStreams
+
+
+class TestAreaModel:
+    def test_baseline_matches_paper(self):
+        area = AreaModel()
+        assert area.baseline_mm2 == pytest.approx(122.3)
+
+    def test_orchestration_area(self):
+        area = AreaModel()
+        assert area.orchestration_mm2 == pytest.approx(3.4 + 1.3 + 0.4)
+
+    def test_accelerator_fraction_near_paper(self):
+        # Paper: accelerators ~26.1% of total area.
+        assert AreaModel().accelerator_fraction() == pytest.approx(0.261, abs=0.02)
+
+    def test_accelflow_overhead_near_paper(self):
+        # Paper: AccelFlow structures at most 2.9% of the SoC.
+        assert AreaModel().accelflow_overhead_fraction() == pytest.approx(
+            0.029, abs=0.005
+        )
+
+    def test_breakdown_sums_to_total(self):
+        area = AreaModel()
+        breakdown = area.breakdown()
+        parts = sum(v for k, v in breakdown.items() if k != "total")
+        assert parts == pytest.approx(breakdown["total"])
+
+
+class TestEnergyModel:
+    def test_accel_power_sums_to_budget(self):
+        model = EnergyModel()
+        assert sum(model.accel_max_w.values()) == pytest.approx(12.5)
+
+    def test_core_energy_monotone_in_busy_time(self):
+        model = EnergyModel()
+        low = model.core_energy_j(36, 1e9, busy_ns=1e9)
+        high = model.core_energy_j(36, 1e9, busy_ns=30e9)
+        assert high > low
+
+    def test_core_energy_zero_elapsed(self):
+        assert EnergyModel().core_energy_j(36, 0.0, 0.0) == 0.0
+
+    def test_accel_energy_idle_below_active(self):
+        model = EnergyModel()
+        idle = model.accel_energy_j(AcceleratorKind.CMP, 1e9, 0.0, 8)
+        active = model.accel_energy_j(AcceleratorKind.CMP, 1e9, 8e9, 8)
+        assert 0 < idle < active
+
+    def test_performance_per_watt_positive(self):
+        model = EnergyModel()
+        ppw = model.performance_per_watt(1000, 1e9, 10.0)
+        assert ppw > 0
+
+    def test_performance_per_watt_degenerate(self):
+        model = EnergyModel()
+        assert model.performance_per_watt(0, 0.0, 0.0) == 0.0
+
+
+class TestServerHardware:
+    def make_server(self):
+        env = Environment()
+        server = ServerHardware(env, MachineParams(), RandomStreams(0))
+        return env, server
+
+    def test_all_nine_accelerators_present(self):
+        _, server = self.make_server()
+        assert set(server.accelerators) == set(ACCEL_KINDS)
+
+    def test_iommu_per_chiplet(self):
+        _, server = self.make_server()
+        assert set(server.iommus) == {0, 1}
+
+    def test_accel_lookup(self):
+        _, server = self.make_server()
+        accel = server.accel(AcceleratorKind.TCP)
+        assert accel.kind == AcceleratorKind.TCP
+        assert accel.speedup == pytest.approx(3.5)
+
+    def test_end_to_end_op_execution(self):
+        env, server = self.make_server()
+        accel = server.accel(AcceleratorKind.RPC)
+        op = AccelOp(AcceleratorKind.RPC, 20500.0, 256, 256)
+        entry = QueueEntry(env, op)
+
+        def proc(env):
+            assert accel.try_enqueue(entry)
+            yield entry.done
+
+        env.process(proc(env))
+        env.run()
+        assert server.total_ops_completed() == 1
+        # RPC speedup 20.5: compute ~1000 ns.
+        assert 1000.0 < entry.service_ns < 1200.0
+
+    def test_aggregate_stats_structure(self):
+        env, server = self.make_server()
+        stats = server.stats()
+        assert set(stats) == {"cores", "dma", "network", "tlb", "accelerators"}
+        assert set(stats["accelerators"]) == {k.value for k in ACCEL_KINDS}
+
+    def test_utilizations_initially_zero(self):
+        env, server = self.make_server()
+        env.run(until=1000.0)
+        utils = server.accelerator_utilizations()
+        assert all(v == 0.0 for v in utils.values())
+
+    def test_counters_initially_zero(self):
+        _, server = self.make_server()
+        assert server.total_fallbacks() == 0
+        assert server.total_overflow_admissions() == 0
+        assert server.tlb_stats()["accesses"] == 0

@@ -1,0 +1,66 @@
+"""Tests for the load-adaptive AccelFlow variant."""
+
+import pytest
+
+from repro.hw import MachineParams
+from repro.hw.params import AcceleratorParams
+from repro.orchestration import AdaptiveAccelFlowOrchestrator
+from repro.server import SimulatedServer
+from repro.workloads import Buckets, social_network_services
+
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+def run_many(server, spec, count):
+    requests = [server.make_request(spec) for _ in range(count)]
+    procs = [server.submit(r) for r in requests]
+    server.env.run(until=server.env.all_of(procs))
+    return requests
+
+
+class TestAdaptiveBehaviour:
+    def test_registered_architecture(self):
+        server = SimulatedServer("accelflow-adaptive")
+        assert isinstance(server.orchestrator, AdaptiveAccelFlowOrchestrator)
+
+    def test_no_bypass_when_idle(self):
+        server = SimulatedServer("accelflow-adaptive")
+        run_many(server, SERVICES["UniqId"], 3)
+        assert server.orchestrator.bypasses == 0
+        assert server.orchestrator.accelerated_ops > 0
+
+    def test_bypasses_under_congestion(self):
+        # Starve the accelerators: 1 PE each, everything queues.
+        params = MachineParams(
+            accelerator=AcceleratorParams(pes=1, input_queue_entries=64)
+        )
+        server = SimulatedServer("accelflow-adaptive", machine_params=params)
+        requests = run_many(server, SERVICES["StoreP"], 30)
+        assert all(r.completed for r in requests)
+        assert server.orchestrator.bypasses > 0
+
+    def test_bypassed_ops_charge_cpu(self):
+        params = MachineParams(accelerator=AcceleratorParams(pes=1))
+        server = SimulatedServer("accelflow-adaptive", machine_params=params)
+        requests = run_many(server, SERVICES["StoreP"], 30)
+        if server.orchestrator.bypasses:
+            total_cpu = sum(r.components[Buckets.CPU] for r in requests)
+            app_budget = sum(r.spec.app_logic_ns for r in requests)
+            assert total_cpu > app_budget
+
+    def test_matches_accelflow_unloaded(self):
+        def latency(arch):
+            server = SimulatedServer(arch, seed=9)
+            (request,) = run_many(server, SERVICES["UniqId"], 1)
+            return request.latency_ns
+
+        assert latency("accelflow-adaptive") == pytest.approx(
+            latency("accelflow"), rel=0.15
+        )
+
+    def test_stats_expose_bypass_fraction(self):
+        server = SimulatedServer("accelflow-adaptive")
+        run_many(server, SERVICES["UniqId"], 2)
+        stats = server.orchestrator.stats()
+        assert stats["bypass_fraction"] == 0.0
+        assert stats["accelerated_ops"] > 0

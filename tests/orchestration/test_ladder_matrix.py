@@ -1,0 +1,74 @@
+"""Matrix tests over the Figure 13 ladder rungs: each flag moves the
+right work out of the central manager."""
+
+import pytest
+
+from repro.server import SimulatedServer
+from repro.workloads import social_network_services
+
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+def run_one(arch, service="Login", seed=0):
+    server = SimulatedServer(arch, seed=seed)
+    request = server.make_request(SERVICES[service])
+    done = server.submit(request)
+    server.env.run(until=done)
+    return server, request
+
+
+class TestLadderMatrix:
+    def test_relief_and_peracctypeq_keep_retire_hooks(self):
+        for arch in ("relief", "per-acc-type-q"):
+            server, _ = run_one(arch)
+            hooks = [a.retire_hook for a in server.hardware.all_accelerators()]
+            assert all(h is not None for h in hooks), arch
+
+    def test_direct_rungs_drop_retire_hooks(self):
+        for arch in ("direct", "cntrflow"):
+            server, _ = run_one(arch)
+            hooks = [a.retire_hook for a in server.hardware.all_accelerators()]
+            assert all(h is None for h in hooks), arch
+
+    def test_manager_events_fall_along_the_ladder(self):
+        """Each rung strictly reduces how often the manager is involved."""
+        events = {}
+        for arch in ("relief", "direct", "cntrflow"):
+            server, _ = run_one(arch)
+            events[arch] = server.orchestrator.stats()["manager_events"]
+        assert events["relief"] > events["direct"] >= events["cntrflow"]
+
+    def test_cntrflow_resolves_branches_locally(self):
+        server, _ = run_one("cntrflow", service="Login")
+        glue = server.orchestrator.stats()["glue"]
+        assert glue["branches_resolved"] > 0
+
+    def test_direct_does_not_resolve_branches_locally(self):
+        server, _ = run_one("direct", service="Login")
+        glue = server.orchestrator.stats()["glue"]
+        assert glue["branches_resolved"] == 0
+
+    def test_central_queue_only_on_relief_base(self):
+        relief_server, _ = run_one("relief")
+        assert relief_server.orchestrator._admission is not None
+        ptq_server, _ = run_one("per-acc-type-q")
+        assert ptq_server.orchestrator._admission is None
+
+    def test_latency_improves_along_the_ladder(self):
+        from repro.server import run_unloaded
+
+        means = {}
+        for arch in ("relief", "direct", "accelflow"):
+            means[arch] = run_unloaded(
+                arch, SERVICES["Login"], requests=15, seed=4
+            ).mean_ns()
+        # The big step is Direct (no manager round trips, no memory
+        # staging); AccelFlow refines further.
+        assert means["direct"] < means["relief"]
+        assert means["accelflow"] < means["relief"]
+
+    def test_ladder_rung_names_are_their_configs(self):
+        for arch in ("relief", "per-acc-type-q", "direct", "cntrflow"):
+            server, _ = run_one(arch)
+            assert server.orchestrator.name == arch
+            assert server.orchestrator.config.name == arch

@@ -1,0 +1,200 @@
+"""Deeper behavioural tests: fallback, retire hooks, staged transfers,
+remote boundaries, Cohort polling threads."""
+
+import pytest
+
+from repro.hw import AcceleratorKind, MachineParams, QueuePolicy
+from repro.hw.params import AcceleratorParams
+from repro.server import SimulatedServer
+from repro.workloads import (
+    AVERAGE_TAX_FRACTIONS,
+    Buckets,
+    CpuSegment,
+    ServiceSpec,
+    TraceInvocation,
+    social_network_services,
+)
+
+K = AcceleratorKind
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+def run_requests(server, spec, count=1):
+    requests = [server.make_request(spec) for _ in range(count)]
+    procs = [server.submit(r) for r in requests]
+    server.env.run(until=server.env.all_of(procs))
+    return requests
+
+
+class TestCpuFallback:
+    def tiny_machine(self):
+        return MachineParams(
+            accelerator=AcceleratorParams(
+                pes=1, input_queue_entries=1, overflow_entries=1
+            )
+        )
+
+    def test_fallback_requests_still_complete(self):
+        server = SimulatedServer("accelflow", machine_params=self.tiny_machine())
+        spec = SERVICES["CPost"]  # 4 concurrent chains swamp 1-entry queues
+        requests = run_requests(server, spec, count=4)
+        assert all(r.completed for r in requests)
+        assert any(r.fell_back for r in requests)
+        assert server.orchestrator.fallbacks > 0
+
+    def test_fallback_charges_cpu_time(self):
+        server = SimulatedServer("accelflow", machine_params=self.tiny_machine())
+        spec = SERVICES["CPost"]
+        requests = run_requests(server, spec, count=4)
+        fell_back = [r for r in requests if r.fell_back]
+        assert fell_back
+        # Software execution of the remaining ops shows up as CPU time
+        # beyond the AppLogic budget.
+        for request in fell_back:
+            assert request.components[Buckets.CPU] > request.spec.app_logic_ns
+
+
+class TestRetireHooks:
+    def test_relief_installs_retire_hook(self):
+        server = SimulatedServer("relief")
+        for accel in server.hardware.accelerators.values():
+            assert accel.retire_hook is not None
+
+    def test_cntrflow_has_no_retire_hook(self):
+        server = SimulatedServer("cntrflow")  # direct transfers: no manager
+        for accel in server.hardware.accelerators.values():
+            assert accel.retire_hook is None
+
+    def test_accelflow_has_no_retire_hook(self):
+        server = SimulatedServer("accelflow")
+        for accel in server.hardware.accelerators.values():
+            assert accel.retire_hook is None
+
+    def test_retire_time_charged_to_orchestration(self):
+        server = SimulatedServer("relief")
+        spec = SERVICES["UniqId"]
+        (request,) = run_requests(server, spec)
+        assert request.components[Buckets.ORCHESTRATION] > 0
+        # Retire dead time must not inflate the accelerator bucket:
+        # compare against an AccelFlow run of the same request shape.
+        af_server = SimulatedServer("accelflow")
+        (af_request,) = run_requests(af_server, spec)
+        assert request.components[Buckets.ACCEL] == pytest.approx(
+            af_request.components[Buckets.ACCEL], rel=0.25
+        )
+
+    def test_relief_slower_per_op_than_direct(self):
+        def latency(arch):
+            server = SimulatedServer(arch)
+            (request,) = run_requests(server, SERVICES["UniqId"])
+            return request.latency_ns
+
+        assert latency("relief") > latency("direct")
+
+
+class TestRemoteBoundaries:
+    def test_t4_chain_waits_on_network(self):
+        server = SimulatedServer("accelflow")
+        spec = SERVICES["ReadH"]  # T4 -> T5 crosses the network
+        (request,) = run_requests(server, spec)
+        assert request.components[Buckets.REMOTE] > 0
+
+    def test_error_trace_is_not_remote(self):
+        """T7's exception arm chains to T_err through the ATM without a
+        network wait (Ser does not start with TCP)."""
+        spec = ServiceSpec(
+            name="WriteFail",
+            suite="test",
+            total_time_ns=500_000.0,
+            fractions=dict(AVERAGE_TAX_FRACTIONS),
+            path=(TraceInvocation("T8"), CpuSegment()),
+            rate_rps=100.0,
+        )
+        from repro.workloads import BranchProbabilities
+
+        server = SimulatedServer(
+            "accelflow", branch_probs=BranchProbabilities(exception=1.0)
+        )
+        (request,) = run_requests(server, spec)
+        assert request.error
+        # Exactly one remote wait happened (T8 -> T7); the T7 -> T_err
+        # hand-off is an on-package ATM chain.
+        assert server.orchestrator.chains_executed == 3  # T8, T7, T_err
+
+    def test_tcp_timeout_terminates_request(self):
+        from repro.workloads import RemoteLatencies
+
+        server = SimulatedServer(
+            "accelflow",
+            remotes=RemoteLatencies(loss_probability=1.0),
+        )
+        spec = SERVICES["StoreP"]
+        (request,) = run_requests(server, spec)
+        assert request.timed_out
+        assert request.error
+        assert server.orchestrator.tcp_timeouts == 1
+
+
+class TestCohortPolling:
+    def test_polling_threads_limit_concurrency(self):
+        from repro.orchestration.cohort import CohortOrchestrator
+
+        server = SimulatedServer("cohort")
+        orchestrator = server.orchestrator
+        assert isinstance(orchestrator, CohortOrchestrator)
+        assert orchestrator._pollers.capacity == CohortOrchestrator.POLLING_THREADS
+
+    def test_linked_pairs_bypass_pollers(self):
+        server = SimulatedServer("cohort")
+        run_requests(server, SERVICES["UniqId"])
+        stats = server.orchestrator.stats()
+        assert stats["linked_hops"] > 0
+
+
+class TestStagedTransfers:
+    def test_relief_moves_more_bytes_than_accelflow(self):
+        """Through-memory staging doubles the producer-side traffic."""
+
+        def bytes_moved(arch):
+            server = SimulatedServer(arch)
+            run_requests(server, SERVICES["UniqId"], count=3)
+            return server.hardware.dma.bytes_moved
+
+        assert bytes_moved("relief") > bytes_moved("accelflow") * 1.3
+
+    def test_direct_rung_avoids_staging(self):
+        def bytes_moved(arch):
+            server = SimulatedServer(arch)
+            run_requests(server, SERVICES["UniqId"], count=3)
+            return server.hardware.dma.bytes_moved
+
+        assert bytes_moved("direct") < bytes_moved("relief")
+
+
+class TestEdfAcrossServices:
+    def test_deadline_priority_helps_short_service(self):
+        """Under a shared overloaded server, EDF protects the service
+        with the tighter deadline."""
+        import dataclasses
+
+        short = SERVICES["UniqId"]
+        heavy = SERVICES["CPost"]
+
+        def p99_of_short(policy):
+            server = SimulatedServer("accelflow", queue_policy=policy, seed=5)
+            requests = []
+            procs = []
+            for i in range(60):
+                for spec, slo in ((short, 600_000.0), (heavy, 9_000_000.0)):
+                    request = server.make_request(spec)
+                    request.slo_deadline_ns = server.env.now + slo
+                    requests.append(request)
+                    procs.append(server.submit(request))
+                server.env.run(until=server.env.now + 20_000.0)  # 50K RPS each
+            server.env.run(until=server.env.all_of(procs))
+            short_lat = sorted(
+                r.latency_ns for r in requests if r.spec.name == "UniqId"
+            )
+            return short_lat[int(len(short_lat) * 0.99) - 1]
+
+        assert p99_of_short(QueuePolicy.EDF) <= p99_of_short(QueuePolicy.FIFO)

@@ -1,0 +1,228 @@
+"""Behavioural tests of the orchestration architectures."""
+
+import pytest
+
+from repro.hw import AcceleratorKind
+from repro.orchestration import (
+    ARCHITECTURES,
+    LADDER_VARIANTS,
+    make_orchestrator,
+)
+from repro.server import Buckets, SimulatedServer
+from repro.workloads import social_network_services
+
+K = AcceleratorKind
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+def run_one(architecture, service="UniqId", seed=0, **server_kwargs):
+    """Run a single request to completion and return (server, request)."""
+    server = SimulatedServer(architecture, seed=seed, **server_kwargs)
+    spec = SERVICES[service]
+    request = server.make_request(spec)
+    done = server.submit(request)
+    server.env.run(until=done)
+    return server, request
+
+
+class TestArchitectureRegistry:
+    def test_all_paper_architectures_present(self):
+        for name in ("non-acc", "cpu-centric", "relief", "cohort", "accelflow",
+                     "ideal", "per-acc-type-q", "direct", "cntrflow"):
+            assert name in ARCHITECTURES
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedServer("warp-drive")
+
+    def test_ladder_variants_configured(self):
+        assert LADDER_VARIANTS["relief"].per_type_queues is False
+        assert LADDER_VARIANTS["per-acc-type-q"].per_type_queues is True
+        assert LADDER_VARIANTS["direct"].direct_transfers is True
+        assert LADDER_VARIANTS["cntrflow"].dispatcher_branches is True
+
+
+class TestRequestCompletion:
+    @pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+    def test_single_request_completes(self, arch):
+        server, request = run_one(arch)
+        assert request.completed
+        assert request.latency_ns > 0
+
+    @pytest.mark.parametrize("arch", sorted(ARCHITECTURES))
+    def test_login_chain_completes(self, arch):
+        server, request = run_one(arch, service="Login")
+        assert request.completed
+        # Login's chain includes two remote round trips (cache + DB).
+        assert request.components[Buckets.REMOTE] > 0
+
+    def test_cpost_parallel_rpcs_complete(self):
+        server, request = run_one("accelflow", service="CPost")
+        assert request.completed
+        # 87 accelerator ops per Table IV (the most common path).
+        if not request.state["exception"]:
+            assert request.accelerator_ops >= 60
+
+
+class TestArchitectureOrdering:
+    """The headline qualitative result: AccelFlow < RELIEF/Cohort <
+    CPU-Centric < Non-acc in unloaded latency."""
+
+    def latency(self, arch, service):
+        _, request = run_one(arch, service=service)
+        return request.latency_ns
+
+    @pytest.mark.parametrize("service", ["UniqId", "StoreP"])
+    def test_unloaded_ordering(self, service):
+        non_acc = self.latency("non-acc", service)
+        cpu = self.latency("cpu-centric", service)
+        relief = self.latency("relief", service)
+        accelflow = self.latency("accelflow", service)
+        assert accelflow < relief < cpu < non_acc
+
+    def test_ideal_not_slower_than_accelflow(self):
+        ideal = self.latency("ideal", "UniqId")
+        accelflow = self.latency("accelflow", "UniqId")
+        assert ideal <= accelflow * 1.02
+
+
+class TestComponentAttribution:
+    def test_non_acc_is_all_cpu(self):
+        _, request = run_one("non-acc")
+        assert request.components[Buckets.CPU] > 0
+        assert request.components[Buckets.ACCEL] == 0
+        assert request.components[Buckets.ORCHESTRATION] == 0
+
+    def test_accelflow_accel_dominates_orchestration(self):
+        """Fig 17: accelerator time dominates; orchestration ~2%."""
+        _, request = run_one("accelflow", service="StoreP")
+        accel = request.components[Buckets.ACCEL]
+        orchestration = request.components[Buckets.ORCHESTRATION]
+        assert accel > 0
+        assert orchestration < 0.2 * accel
+
+    def test_cpu_centric_heavy_orchestration(self):
+        _, cpu_req = run_one("cpu-centric", service="StoreP")
+        _, af_req = run_one("accelflow", service="StoreP")
+        assert (
+            cpu_req.components[Buckets.ORCHESTRATION]
+            > 5 * af_req.components[Buckets.ORCHESTRATION]
+        )
+
+    def test_communication_charged_for_accel_archs(self):
+        _, request = run_one("accelflow")
+        assert request.components[Buckets.COMMUNICATION] > 0
+
+
+class TestGlueInstrumentation:
+    def test_accelflow_counts_dispatcher_ops(self):
+        server, request = run_one("accelflow", service="StoreP")
+        glue = server.orchestrator.glue
+        assert glue.operations == request.accelerator_ops
+        # Average instruction count in the paper's reported range.
+        assert 15.0 <= glue.average_instructions() <= 50.0
+
+    def test_branches_resolved_at_dispatchers(self):
+        server, request = run_one("accelflow", service="Login")
+        assert server.orchestrator.glue.branches_resolved > 0
+
+    def test_atm_reads_on_chained_traces(self):
+        server, request = run_one("accelflow", service="Login")
+        assert server.hardware.atm.reads > 0
+
+
+class TestReliefManager:
+    def test_manager_busy_time_accumulates(self):
+        server, request = run_one("relief", service="StoreP")
+        stats = server.orchestrator.stats()
+        assert stats["manager_busy_ns"] > 0
+        assert stats["manager_events"] > 0
+
+    def test_ladder_reduces_manager_load(self):
+        """Moving work out of the manager shrinks its busy time."""
+
+        def manager_busy(arch):
+            server, _ = run_one(arch, service="Login")
+            return server.orchestrator.stats()["manager_busy_ns"]
+
+        relief = manager_busy("relief")
+        direct = manager_busy("direct")
+        cntrflow = manager_busy("cntrflow")
+        assert relief > direct >= cntrflow
+
+    def test_accelflow_has_no_manager(self):
+        server, _ = run_one("accelflow")
+        assert "manager_busy_ns" not in server.orchestrator.stats()
+
+
+class TestCohort:
+    def test_linked_and_cpu_hops_both_used(self):
+        server, request = run_one("cohort", service="StoreP")
+        stats = server.orchestrator.stats()
+        assert stats["linked_hops"] > 0
+        assert stats["cpu_hops"] > 0
+
+    def test_custom_pairs_respected(self):
+        from repro.orchestration.cohort import CohortOrchestrator
+
+        server = SimulatedServer("cohort")
+        assert isinstance(server.orchestrator, CohortOrchestrator)
+        # All hand-offs unlinked when the pair set is empty.
+        server.orchestrator.linked_pairs = frozenset()
+        spec = SERVICES["UniqId"]
+        request = server.make_request(spec)
+        done = server.submit(request)
+        server.env.run(until=done)
+        assert server.orchestrator.linked_hops == 0
+        assert server.orchestrator.cpu_hops > 0
+
+
+class TestErrorPaths:
+    def test_exception_requests_take_error_trace(self):
+        from repro.workloads import (
+            AVERAGE_TAX_FRACTIONS,
+            BranchProbabilities,
+            CpuSegment,
+            ServiceSpec,
+            TraceInvocation,
+        )
+
+        # A write whose response carries an exception: T8 -> T7 takes
+        # the error arm into T_err and the request completes with error.
+        spec = ServiceSpec(
+            name="FailingWrite",
+            suite="test",
+            total_time_ns=500_000.0,
+            fractions=dict(AVERAGE_TAX_FRACTIONS),
+            path=(
+                TraceInvocation("T8"),  # exception left to sampling
+                CpuSegment(),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=100.0,
+        )
+        server = SimulatedServer(
+            "accelflow",
+            branch_probs=BranchProbabilities(exception=1.0),
+        )
+        request = server.make_request(spec)
+        done = server.submit(request)
+        server.env.run(until=done)
+        assert request.completed
+        assert request.error
+        # The error trace notified the user without running T2.
+        assert server.orchestrator.glue.notifies >= 1
+
+    def test_tenant_limit_throttles(self):
+        from repro.hw import MachineParams
+
+        server = SimulatedServer(
+            "accelflow",
+            machine_params=MachineParams(tenant_trace_limit=1),
+        )
+        spec = SERVICES["CPost"]  # 4 parallel chains contend for 1 slot
+        request = server.make_request(spec)
+        done = server.submit(request)
+        server.env.run(until=done)
+        assert request.completed
+        assert server.orchestrator.tenants.throttled > 0

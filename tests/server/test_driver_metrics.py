@@ -1,0 +1,169 @@
+"""Integration tests for the experiment driver and metrics."""
+
+import pytest
+
+from repro.server import (
+    Buckets,
+    RunConfig,
+    SimulatedServer,
+    energy_summary,
+    max_throughput_search,
+    run_experiment,
+    run_unloaded,
+)
+from repro.workloads import Request, social_network_services
+
+SERVICES = social_network_services()
+BY_NAME = {s.name: s for s in SERVICES}
+
+
+def small_config(arch, **kwargs):
+    defaults = dict(
+        architecture=arch,
+        requests_per_service=40,
+        arrival_mode="poisson",
+        rate_rps=2000.0,
+        warmup_fraction=0.0,
+    )
+    defaults.update(kwargs)
+    return RunConfig(**defaults)
+
+
+class TestRequest:
+    def test_latency_requires_completion(self):
+        server = SimulatedServer("accelflow")
+        request = server.make_request(BY_NAME["UniqId"])
+        with pytest.raises(ValueError):
+            _ = request.latency_ns
+
+    def test_component_fractions_sum_to_one(self):
+        server = SimulatedServer("accelflow")
+        request = server.make_request(BY_NAME["UniqId"])
+        done = server.submit(request)
+        server.env.run(until=done)
+        fractions = [request.component_fraction(b) for b in Buckets.ALL]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    def test_request_ids_unique(self):
+        server = SimulatedServer("accelflow")
+        a = server.make_request(BY_NAME["UniqId"])
+        b = server.make_request(BY_NAME["UniqId"])
+        assert a.rid != b.rid
+
+
+class TestRunUnloaded:
+    def test_all_requests_complete(self):
+        result = run_unloaded("accelflow", BY_NAME["UniqId"], requests=10)
+        assert result.completed == 10
+        assert result.censored == 0
+
+    def test_unloaded_latency_near_service_scale(self):
+        result = run_unloaded("non-acc", BY_NAME["UniqId"], requests=15)
+        # UniqId is a 280 us service; software execution plus payload
+        # variation lands in the same order of magnitude.
+        assert 100_000 < result.mean_ns() < 1_500_000
+
+    def test_deterministic_given_seed(self):
+        a = run_unloaded("accelflow", BY_NAME["StoreP"], requests=8, seed=42)
+        b = run_unloaded("accelflow", BY_NAME["StoreP"], requests=8, seed=42)
+        assert a.recorder.samples == b.recorder.samples
+
+    def test_different_seeds_differ(self):
+        a = run_unloaded("accelflow", BY_NAME["StoreP"], requests=8, seed=1)
+        b = run_unloaded("accelflow", BY_NAME["StoreP"], requests=8, seed=2)
+        assert a.recorder.samples != b.recorder.samples
+
+
+class TestRunExperiment:
+    def test_dedicated_mode_covers_all_services(self):
+        subset = [BY_NAME["UniqId"], BY_NAME["StoreP"]]
+        result = run_experiment(subset, small_config("accelflow"))
+        assert set(result.services) == {"UniqId", "StoreP"}
+        assert result.total_completed() == 80
+
+    def test_colocated_mode_shares_server(self):
+        subset = [BY_NAME["UniqId"], BY_NAME["StoreP"]]
+        result = run_experiment(subset, small_config("accelflow", colocated=True))
+        assert result.total_completed() == 80
+        # Colocated runs have one flat hardware stats dict.
+        assert "cores" in result.hardware_stats
+
+    def test_aggregates(self):
+        subset = [BY_NAME["UniqId"]]
+        result = run_experiment(subset, small_config("accelflow"))
+        assert result.mean_p99_ns() >= result.services["UniqId"].mean_ns()
+        assert result.achieved_rps() > 0
+        assert 0 <= result.orchestration_fraction() < 1
+
+    def test_invalid_arrival_mode(self):
+        with pytest.raises(ValueError):
+            run_experiment(
+                [BY_NAME["UniqId"]], small_config("accelflow", arrival_mode="steady")
+            )
+
+    def test_higher_load_does_not_lower_latency(self):
+        light = run_experiment(
+            [BY_NAME["UniqId"]], small_config("non-acc", rate_rps=2000.0)
+        )
+        heavy = run_experiment(
+            [BY_NAME["UniqId"]],
+            small_config("non-acc", rate_rps=250_000.0, requests_per_service=400),
+        )
+        assert heavy.p99_ns("UniqId") > light.p99_ns("UniqId")
+
+    def test_censoring_under_overload(self):
+        # Far beyond capacity with a short drain: some requests cannot
+        # finish and must be counted as censored, not dropped.
+        config = small_config(
+            "non-acc",
+            rate_rps=500_000.0,
+            requests_per_service=300,
+            drain_ns=1e6,
+        )
+        result = run_experiment([BY_NAME["CPost"]], config)
+        assert result.total_censored() > 0
+
+
+class TestEnergySummary:
+    def test_colocated_energy_breakdown(self):
+        result = run_experiment(
+            [BY_NAME["UniqId"]], small_config("accelflow", colocated=True)
+        )
+        energy = energy_summary(result)
+        assert energy["total_j"] > 0
+        assert energy["core_j"] > 0
+        assert energy["perf_per_watt"] > 0
+        assert energy["total_j"] == pytest.approx(
+            energy["core_j"] + energy["accel_j"] + energy["orchestration_j"]
+        )
+
+    def test_accelflow_uses_less_energy_than_non_acc(self):
+        def total_j(arch):
+            result = run_experiment(
+                [BY_NAME["StoreP"]],
+                small_config(arch, colocated=True, requests_per_service=60),
+            )
+            return energy_summary(result)["total_j"] / result.total_completed()
+
+        assert total_j("accelflow") < total_j("non-acc")
+
+
+class TestThroughputSearch:
+    def test_finds_higher_capacity_for_accelflow(self):
+        spec = BY_NAME["UniqId"]
+        unloaded_af = run_unloaded("accelflow", spec, requests=10).mean_ns()
+        unloaded_na = run_unloaded("non-acc", spec, requests=10).mean_ns()
+        af = max_throughput_search(
+            "accelflow", spec, slo_ns=5 * unloaded_af, requests=60, iterations=5
+        )
+        na = max_throughput_search(
+            "non-acc", spec, slo_ns=5 * unloaded_na, requests=60, iterations=5
+        )
+        assert af > na
+
+    def test_returns_lo_when_already_violating(self):
+        spec = BY_NAME["UniqId"]
+        rate = max_throughput_search(
+            "non-acc", spec, slo_ns=1.0, requests=30, lo_rps=100.0, iterations=3
+        )
+        assert rate == 100.0

@@ -1,0 +1,122 @@
+"""Unit tests for measurement primitives."""
+
+import pytest
+
+from repro.sim import Counter, LatencyRecorder, TimeWeightedValue, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_single_element(self):
+        assert percentile([42.0], 99.0) == 42.0
+
+    def test_min_max(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 4.0
+
+    def test_median_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_p99_of_uniform(self):
+        values = [float(i) for i in range(101)]
+        assert percentile(values, 99.0) == 99.0
+
+
+class TestCounter:
+    def test_defaults_to_zero(self):
+        counter = Counter()
+        assert counter.get("missing") == 0
+        assert counter["missing"] == 0
+
+    def test_add_and_get(self):
+        counter = Counter()
+        counter.add("x")
+        counter.add("x", 4)
+        assert counter.get("x") == 5
+
+    def test_as_dict_is_copy(self):
+        counter = Counter()
+        counter.add("x")
+        d = counter.as_dict()
+        d["x"] = 100
+        assert counter.get("x") == 1
+
+
+class TestTimeWeightedValue:
+    def test_constant_value(self):
+        tw = TimeWeightedValue(initial=2.0)
+        assert tw.average(10.0) == 2.0
+
+    def test_step_change(self):
+        tw = TimeWeightedValue(initial=0.0)
+        tw.set(4.0, now=5.0)  # 0 for [0,5), 4 for [5,10)
+        assert tw.average(10.0) == 2.0
+
+    def test_add_delta(self):
+        tw = TimeWeightedValue(initial=1.0)
+        tw.add(1.0, now=5.0)
+        assert tw.value == 2.0
+        assert tw.average(10.0) == 1.5
+
+    def test_zero_elapsed_returns_current(self):
+        tw = TimeWeightedValue(initial=3.0)
+        assert tw.average(0.0) == 3.0
+
+    def test_reset_restarts_window(self):
+        tw = TimeWeightedValue(initial=0.0)
+        tw.set(10.0, now=5.0)
+        tw.reset(now=5.0)
+        assert tw.average(10.0) == 10.0
+
+
+class TestLatencyRecorder:
+    def test_empty_mean_raises(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ValueError):
+            rec.mean()
+
+    def test_mean_and_percentiles(self):
+        rec = LatencyRecorder()
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            rec.record(v)
+        assert rec.mean() == 3.0
+        assert rec.p50() == 3.0
+        assert rec.max() == 5.0
+        assert len(rec) == 5
+
+    def test_warmup_skips_prefix(self):
+        rec = LatencyRecorder(warmup_fraction=0.5)
+        for v in [100.0, 100.0, 1.0, 1.0]:
+            rec.record(v)
+        assert rec.mean() == 1.0
+        assert rec.count == 2
+
+    def test_bad_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(warmup_fraction=1.0)
+
+    def test_summary_keys(self):
+        rec = LatencyRecorder()
+        for v in range(100):
+            rec.record(float(v))
+        summary = rec.summary()
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99", "max"}
+        assert summary["count"] == 100
+        assert summary["max"] == 99.0
+
+
+class TestSummarize:
+    def test_empty(self):
+        assert summarize([]) == {"count": 0}
+
+    def test_ordering_of_percentiles(self):
+        summary = summarize([float(i) for i in range(1000)])
+        assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]

@@ -1,0 +1,256 @@
+"""Unit tests for Resource / PriorityResource."""
+
+import pytest
+
+from repro.sim import Environment, PriorityResource, Resource
+
+
+def test_capacity_must_be_positive():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_single_server_serializes_users():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    log = []
+
+    def user(env, res, name, hold):
+        with res.request() as req:
+            yield req
+            log.append((name, env.now))
+            yield env.timeout(hold)
+
+    env.process(user(env, res, "a", 2.0))
+    env.process(user(env, res, "b", 2.0))
+    env.run()
+    assert log == [("a", 0.0), ("b", 2.0)]
+
+
+def test_multi_server_parallelism():
+    env = Environment()
+    res = Resource(env, capacity=3)
+    starts = []
+
+    def user(env, res, name):
+        with res.request() as req:
+            yield req
+            starts.append((name, env.now))
+            yield env.timeout(5.0)
+
+    for name in "abcd":
+        env.process(user(env, res, name))
+    env.run()
+    start_times = dict(starts)
+    assert start_times["a"] == start_times["b"] == start_times["c"] == 0.0
+    assert start_times["d"] == 5.0
+
+
+def test_count_and_queue_lengths():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def observer(env, res, out):
+        yield env.timeout(1.0)
+        res.request()  # queued behind holder
+        out.append((res.count, len(res.queue)))
+
+    out = []
+    env.process(holder(env, res))
+    env.process(observer(env, res, out))
+    env.run(until=2.0)
+    assert out == [(1, 1)]
+
+
+def test_release_via_context_manager():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+        return res.count
+
+    p = env.process(user(env, res))
+    env.run()
+    assert p.value == 0
+
+
+def test_explicit_release():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        req = res.request()
+        yield req
+        yield env.timeout(1.0)
+        res.release(req)
+        return res.count
+
+    p = env.process(user(env, res))
+    env.run()
+    assert p.value == 0
+
+
+def test_cancel_queued_request_withdraws_it():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    got_resource = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def impatient(env, res):
+        req = res.request()
+        result = yield req | env.timeout(1.0)
+        if req not in result:
+            req.cancel()
+            return "gave-up"
+        return "served"
+
+    def patient(env, res, log):
+        yield env.timeout(0.5)
+        with res.request() as req:
+            yield req
+            log.append(env.now)
+
+    log = []
+    env.process(holder(env, res))
+    p = env.process(impatient(env, res))
+    env.process(patient(env, res, log))
+    env.run()
+    assert p.value == "gave-up"
+    # The patient process got the resource when the holder released it,
+    # not blocked forever behind the withdrawn request.
+    assert log == [10.0]
+
+
+def test_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    def waiter(env, name, arrive):
+        yield env.timeout(arrive)
+        with res.request() as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    env.process(holder(env))
+    env.process(waiter(env, "first", 1.0))
+    env.process(waiter(env, "second", 2.0))
+    env.process(waiter(env, "third", 3.0))
+    env.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_priority_resource_orders_by_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    def waiter(env, name, arrive, priority):
+        yield env.timeout(arrive)
+        with res.request(priority=priority) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    env.process(holder(env))
+    env.process(waiter(env, "low", 1.0, priority=10))
+    env.process(waiter(env, "high", 2.0, priority=0))
+    env.process(waiter(env, "mid", 3.0, priority=5))
+    env.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_ties_break_fifo():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5.0)
+
+    def waiter(env, name, arrive):
+        yield env.timeout(arrive)
+        with res.request(priority=1) as req:
+            yield req
+            order.append(name)
+            yield env.timeout(1.0)
+
+    env.process(holder(env))
+    env.process(waiter(env, "a", 1.0))
+    env.process(waiter(env, "b", 2.0))
+    env.run()
+    assert order == ["a", "b"]
+
+
+def test_priority_cancel_queued():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    served = []
+
+    def holder(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(10.0)
+
+    def canceller(env):
+        yield env.timeout(1.0)
+        req = res.request(priority=0)
+        yield env.timeout(1.0)
+        req.cancel()
+
+    def waiter(env):
+        yield env.timeout(2.0)
+        with res.request(priority=5) as req:
+            yield req
+            served.append(env.now)
+
+    env.process(holder(env))
+    env.process(canceller(env))
+    env.process(waiter(env))
+    env.run()
+    assert served == [10.0]
+
+
+def test_utilization_under_saturation():
+    """With demand > capacity, the resource stays busy back to back."""
+    env = Environment()
+    res = Resource(env, capacity=2)
+    completions = []
+
+    def user(env, i):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+            completions.append(env.now)
+
+    for i in range(10):
+        env.process(user(env, i))
+    env.run()
+    assert env.now == 5.0
+    assert len(completions) == 10

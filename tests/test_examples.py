@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 180.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_example():
+    out = run_example("quickstart.py")
+    assert "Round trip: OK" in out
+    assert "end-to-end latency" in out
+    assert "dispatcher ops" in out
+
+
+def test_compile_traces_example():
+    out = run_example("compile_traces.py")
+    assert "Compiled 3 traces" in out
+    assert "catalogue is closed" in out
+    assert "p99" in out
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "compile_traces.py",
+                                  "custom_service.py", "serverless_burst.py",
+                                  "compare_orchestrators.py",
+                                  "design_space.py"])
+def test_examples_exist_and_have_docstrings(name):
+    path = EXAMPLES / name
+    assert path.exists()
+    text = path.read_text()
+    assert text.lstrip().startswith(('#!/usr/bin/env python3', '"""'))
+    assert '"""' in text

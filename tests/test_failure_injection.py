@@ -1,0 +1,159 @@
+"""Failure injection: the system degrades gracefully, never hangs.
+
+Each test cranks one failure mode to an extreme — network loss, page
+faults, payload exceptions, starved hardware, tenant throttling — and
+checks that every request still terminates with a sane status and the
+bookkeeping stays consistent.
+"""
+
+import pytest
+
+from repro.hw import MachineParams
+from repro.hw.params import AcceleratorParams, TlbParams
+from repro.server import SimulatedServer
+from repro.workloads import (
+    BranchProbabilities,
+    Buckets,
+    RemoteLatencies,
+    social_network_services,
+)
+
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+def run_all(server, spec, count):
+    requests = [server.make_request(spec) for _ in range(count)]
+    procs = [server.submit(r) for r in requests]
+    server.env.run(until=server.env.all_of(procs))
+    assert all(r.completed for r in requests), "a request never terminated"
+    return requests
+
+
+class TestNetworkLoss:
+    def test_total_loss_times_out_every_remote_request(self):
+        server = SimulatedServer(
+            "accelflow", remotes=RemoteLatencies(loss_probability=1.0)
+        )
+        requests = run_all(server, SERVICES["StoreP"], 5)
+        assert all(r.timed_out and r.error for r in requests)
+        assert server.orchestrator.tcp_timeouts == 5
+
+    def test_timeout_duration_respected(self):
+        from repro.workloads import OrchestrationCosts
+
+        server = SimulatedServer(
+            "accelflow",
+            remotes=RemoteLatencies(loss_probability=1.0),
+            orch_costs=OrchestrationCosts(tcp_response_timeout_ns=1e6),
+        )
+        (request,) = run_all(server, SERVICES["StoreP"], 1)
+        assert request.latency_ns >= 1e6
+
+    def test_services_without_remotes_unaffected(self):
+        server = SimulatedServer(
+            "accelflow", remotes=RemoteLatencies(loss_probability=1.0)
+        )
+        requests = run_all(server, SERVICES["UniqId"], 5)
+        assert not any(r.timed_out for r in requests)
+
+
+class TestPageFaultStorm:
+    def test_every_op_faulting_still_completes(self):
+        params = MachineParams(
+            tlb=TlbParams(page_fault_probability=1.0, miss_probability=0.0)
+        )
+        server = SimulatedServer("accelflow", machine_params=params)
+        requests = run_all(server, SERVICES["UniqId"], 3)
+        faults = server.hardware.tlb_stats()["page_faults"]
+        assert faults >= 3 * 9  # every op faults
+        # Each fault pays the OS service latency.
+        baseline = SimulatedServer("accelflow")
+        base_requests = run_all(baseline, SERVICES["UniqId"], 3)
+        assert (
+            sum(r.latency_ns for r in requests)
+            > sum(r.latency_ns for r in base_requests)
+        )
+
+
+class TestPayloadExceptions:
+    def test_all_exceptions_reported_not_hung(self):
+        import dataclasses
+
+        # Strip the forced exception=False pin so sampling applies.
+        spec = SERVICES["StoreP"]
+        from repro.workloads import TraceInvocation
+
+        path = tuple(
+            dataclasses.replace(step, forced={"compressed": True})
+            if isinstance(step, TraceInvocation) and step.entry == "T8c"
+            else step
+            for step in spec.path
+        )
+        spec = dataclasses.replace(spec, path=path)
+        server = SimulatedServer(
+            "accelflow", branch_probs=BranchProbabilities(exception=1.0)
+        )
+        requests = run_all(server, spec, 5)
+        assert all(r.error for r in requests)
+
+
+class TestStarvedHardware:
+    def test_one_pe_one_slot_everything_falls_back(self):
+        params = MachineParams(
+            accelerator=AcceleratorParams(
+                pes=1, input_queue_entries=1, overflow_entries=1
+            )
+        )
+        server = SimulatedServer("accelflow", machine_params=params)
+        requests = run_all(server, SERVICES["Follow"], 6)
+        # Heavy fallback, yet conservation holds: every request is done
+        # and CPU time absorbed the spilled work.
+        assert server.orchestrator.fallbacks > 0
+        for request in requests:
+            if request.fell_back:
+                assert request.components[Buckets.CPU] > request.spec.app_logic_ns
+
+    def test_zero_capacity_never_deadlocks_under_burst(self):
+        params = MachineParams(
+            accelerator=AcceleratorParams(
+                pes=1, input_queue_entries=1, overflow_entries=1
+            )
+        )
+        server = SimulatedServer("relief", machine_params=params)
+        run_all(server, SERVICES["CPost"], 4)  # parallel fan-out + tiny queues
+
+
+class TestTenantThrottling:
+    def test_limit_one_serializes_but_completes(self):
+        params = MachineParams(tenant_trace_limit=1)
+        server = SimulatedServer("accelflow", machine_params=params)
+        requests = run_all(server, SERVICES["CPost"], 3)
+        assert server.orchestrator.tenants.throttled > 0
+        assert server.orchestrator.tenants.active_tenants == 0
+
+    def test_queue_bucket_accounts_throttle_waits(self):
+        params = MachineParams(tenant_trace_limit=1)
+        server = SimulatedServer("accelflow", machine_params=params)
+        requests = run_all(server, SERVICES["CPost"], 3)
+        assert any(r.components[Buckets.QUEUE] > 0 for r in requests)
+
+
+class TestCombinedChaos:
+    def test_everything_at_once(self):
+        """Loss + faults + starved queues + tenant limits simultaneously."""
+        params = MachineParams(
+            accelerator=AcceleratorParams(
+                pes=1, input_queue_entries=2, overflow_entries=2
+            ),
+            tlb=TlbParams(page_fault_probability=0.2, miss_probability=0.5),
+            tenant_trace_limit=2,
+        )
+        server = SimulatedServer(
+            "accelflow",
+            machine_params=params,
+            remotes=RemoteLatencies(loss_probability=0.3),
+            branch_probs=BranchProbabilities(exception=0.3),
+        )
+        requests = run_all(server, SERVICES["Login"], 8)
+        statuses = {(r.error, r.timed_out, r.fell_back) for r in requests}
+        assert statuses  # every request terminated with *some* status

@@ -1,0 +1,160 @@
+"""System-level property tests: invariants that must hold for any
+workload, architecture and seed."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TraceRegistry
+from repro.core.encoding import accel_slots
+from repro.server import RunConfig, SimulatedServer, run_experiment
+from repro.workloads import Buckets, social_network_services
+
+SERVICES = social_network_services()
+BY_NAME = {s.name: s for s in SERVICES}
+REGISTRY = TraceRegistry.with_standard_templates()
+
+ARCH_STRATEGY = st.sampled_from(
+    ["non-acc", "cpu-centric", "relief", "cohort", "accelflow"]
+)
+SERVICE_STRATEGY = st.sampled_from(["UniqId", "StoreP", "Follow", "Login"])
+
+
+class TestRequestInvariants:
+    @given(arch=ARCH_STRATEGY, service=SERVICE_STRATEGY, seed=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_components_never_exceed_latency(self, arch, service, seed):
+        server = SimulatedServer(arch, seed=seed)
+        request = server.make_request(BY_NAME[service])
+        done = server.submit(request)
+        server.env.run(until=done)
+        assert request.completed
+        total_components = sum(request.components.values())
+        # Attributed time can never exceed wall-clock latency for
+        # services without parallelism; Follow's parallel chains and
+        # Login's T6 fan-out legitimately overlap (bounded by 2x here).
+        if service in ("UniqId", "StoreP"):
+            assert total_components <= request.latency_ns * 1.001
+        else:
+            assert total_components <= request.latency_ns * 2.0
+
+    @given(arch=ARCH_STRATEGY, seed=st.integers(0, 20))
+    @settings(max_examples=15, deadline=None)
+    def test_all_buckets_non_negative(self, arch, seed):
+        server = SimulatedServer(arch, seed=seed)
+        request = server.make_request(BY_NAME["Login"])
+        done = server.submit(request)
+        server.env.run(until=done)
+        for bucket, value in request.components.items():
+            assert value >= -1e-6, f"{bucket} went negative: {value}"
+
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_same_seed_same_latency(self, seed):
+        def run_one():
+            server = SimulatedServer("accelflow", seed=seed)
+            request = server.make_request(BY_NAME["StoreP"])
+            server.env.run(until=server.submit(request))
+            return request.latency_ns
+
+        assert run_one() == run_one()
+
+
+class TestConservation:
+    @given(
+        arch=ARCH_STRATEGY,
+        service=SERVICE_STRATEGY,
+        count=st.integers(5, 25),
+        seed=st.integers(0, 10),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_requests_complete_or_are_censored(self, arch, service, count, seed):
+        config = RunConfig(
+            architecture=arch,
+            requests_per_service=count,
+            seed=seed,
+            arrival_mode="poisson",
+            rate_rps=3000.0,
+            warmup_fraction=0.0,
+        )
+        result = run_experiment([BY_NAME[service]], config)
+        recorded = result.total_completed() + result.total_censored()
+        assert recorded == count
+
+    @given(seed=st.integers(0, 10))
+    @settings(max_examples=8, deadline=None)
+    def test_accelerator_ops_conserved(self, seed):
+        """Completed hardware ops == ops attributed to requests when
+        nothing falls back (generous queues, light load)."""
+        server = SimulatedServer("accelflow", seed=seed)
+        spec = BY_NAME["UniqId"]
+        requests = [server.make_request(spec) for _ in range(10)]
+        procs = [server.submit(r) for r in requests]
+        server.env.run(until=server.env.all_of(procs))
+        attributed = sum(r.accelerator_ops for r in requests)
+        assert server.hardware.total_ops_completed() == attributed
+
+    @given(seed=st.integers(0, 10))
+    @settings(max_examples=8, deadline=None)
+    def test_tenant_counter_returns_to_zero(self, seed):
+        server = SimulatedServer("accelflow", seed=seed)
+        spec = BY_NAME["CPost"]
+        requests = [server.make_request(spec) for _ in range(4)]
+        procs = [server.submit(r) for r in requests]
+        server.env.run(until=server.env.all_of(procs))
+        assert server.orchestrator.tenants.active_tenants == 0
+
+
+class TestTraceInvariants:
+    @given(
+        name=st.sampled_from(sorted(REGISTRY.names())),
+        fields=st.fixed_dictionaries(
+            {},
+            optional={
+                "compressed": st.booleans(),
+                "hit": st.booleans(),
+                "found": st.booleans(),
+                "exception": st.booleans(),
+                "c_compressed": st.booleans(),
+            },
+        ),
+    )
+    @settings(max_examples=150)
+    def test_resolution_bounded_by_static_slots(self, name, fields):
+        trace = REGISTRY.get(name)
+        path = trace.resolve(fields)
+        assert path.total_accelerators() <= accel_slots(trace.nodes)
+
+    @given(
+        name=st.sampled_from(sorted(REGISTRY.names())),
+        fields=st.fixed_dictionaries(
+            {},
+            optional={
+                "compressed": st.booleans(),
+                "hit": st.booleans(),
+                "found": st.booleans(),
+                "exception": st.booleans(),
+                "c_compressed": st.booleans(),
+            },
+        ),
+    )
+    @settings(max_examples=150)
+    def test_every_path_terminates_decisively(self, name, fields):
+        """Every resolution either notifies the CPU or chains onward."""
+        path = REGISTRY.get(name).resolve(fields)
+        chains_on = path.next_trace is not None or any(
+            arm.next_trace for arm in path.fanout_paths()
+        )
+        assert path.notified or chains_on
+
+    @given(name=st.sampled_from(sorted(REGISTRY.names())))
+    @settings(max_examples=30)
+    def test_pairs_closed_over_kinds(self, name):
+        trace = REGISTRY.get(name)
+        kinds = set()
+        for _, path in trace.all_paths():
+            kinds.update(path.kinds())
+            for arm in path.fanout_paths():
+                kinds.update(arm.kinds())
+        for src, dst in trace.accelerator_pairs():
+            assert src in kinds and dst in kinds

@@ -1,0 +1,180 @@
+"""Tests for the cost model, payload model and arrival generators."""
+
+import pytest
+
+from repro.core import TraceRegistry
+from repro.hw import AcceleratorKind
+from repro.hw.params import PROCESSOR_GENERATIONS
+from repro.sim import RandomStreams
+from repro.workloads import (
+    ClosedBatch,
+    CostModel,
+    CpuSegment,
+    MmppArrivals,
+    PayloadModel,
+    PoissonArrivals,
+    TaxCategory,
+    count_ops_by_category,
+    social_network_services,
+)
+
+K = AcceleratorKind
+REGISTRY = TraceRegistry.with_standard_templates()
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+class TestCostModel:
+    def make(self, generation=None):
+        return CostModel(REGISTRY, generation=generation)
+
+    def test_category_budget_is_respected(self):
+        """Per-op time x op count == the service's category time."""
+        model = self.make()
+        spec = SERVICES["UniqId"]
+        counts = count_ops_by_category(REGISTRY, spec)
+        for kind, category in [
+            (K.TCP, TaxCategory.TCP),
+            (K.SER, TaxCategory.SERIALIZATION),
+        ]:
+            per_op = model.base_op_time_ns(spec, kind)
+            total = per_op * counts[category]
+            assert total == pytest.approx(spec.category_time_ns(category))
+
+    def test_ops_are_fine_grained(self):
+        """The paper: operations take tens of microseconds at most."""
+        model = self.make()
+        for spec in SERVICES.values():
+            for kind in K:
+                base = model.base_op_time_ns(spec, kind)
+                assert base < 200_000.0  # well under 200 us
+
+    def test_size_scaling_clamped(self):
+        model = self.make()
+        spec = SERVICES["UniqId"]
+        assert model.size_scale(spec, 1) == CostModel.MIN_SIZE_SCALE
+        assert model.size_scale(spec, 10_000_000) == CostModel.MAX_SIZE_SCALE
+        assert model.size_scale(spec, int(spec.wire_median_bytes)) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_op_for_builds_sized_op(self):
+        model = self.make()
+        spec = SERVICES["ReadH"]
+        op = model.op_for(spec, K.CMP, 2048)
+        assert op.kind == K.CMP
+        assert op.data_in > op.data_out  # compression shrinks
+
+    def test_cpu_segments_sum_to_app_logic(self):
+        model = self.make()
+        spec = SERVICES["CPost"]
+        segments = [s for s in spec.path if isinstance(s, CpuSegment)]
+        total = sum(model.cpu_segment_ns(spec, s) for s in segments)
+        assert total == pytest.approx(spec.app_logic_ns)
+
+    def test_generation_scales_tax_and_app_differently(self):
+        icelake = self.make(PROCESSOR_GENERATIONS["icelake"])
+        haswell = self.make(PROCESSOR_GENERATIONS["haswell"])
+        spec = SERVICES["UniqId"]
+        assert haswell.base_op_time_ns(spec, K.TCP) > icelake.base_op_time_ns(
+            spec, K.TCP
+        )
+        segment = [s for s in spec.path if isinstance(s, CpuSegment)][0]
+        hw_ratio = haswell.cpu_segment_ns(spec, segment) / icelake.cpu_segment_ns(
+            spec, segment
+        )
+        tax_ratio = haswell.base_op_time_ns(spec, K.TCP) / icelake.base_op_time_ns(
+            spec, K.TCP
+        )
+        assert hw_ratio > tax_ratio  # app logic benefits more from new cores
+
+    def test_software_chain_sums_ops(self):
+        model = self.make()
+        spec = SERVICES["UniqId"]
+        single = model.base_op_time_ns(spec, K.TCP)
+        chain = model.software_chain_ns(
+            spec, [K.TCP, K.TCP], int(spec.wire_median_bytes)
+        )
+        assert chain == pytest.approx(2 * single, rel=0.02)
+
+
+class TestPayloadModel:
+    def make(self, median=1536.0):
+        return PayloadModel(RandomStreams(0).stream("p"), median_bytes=median)
+
+    def test_median_near_configured(self):
+        model = self.make(2048.0)
+        samples = sorted(model.sample_wire_size() for _ in range(4001))
+        median = samples[len(samples) // 2]
+        assert abs(median - 2048) / 2048 < 0.15
+
+    def test_bounds_respected(self):
+        model = self.make()
+        for _ in range(500):
+            size = model.sample_wire_size()
+            assert PayloadModel.MIN_WIRE_BYTES <= size <= PayloadModel.MAX_WIRE_BYTES
+
+    def test_long_tail_exists(self):
+        model = self.make()
+        samples = [model.sample_wire_size() for _ in range(5000)]
+        assert max(samples) > 10 * 1536  # tens of KB tail (Fig 5)
+
+    def test_ldb_carries_no_real_data(self):
+        data_in, _ = PayloadModel.sizes_for(K.LDB, 2048)
+        assert data_in < 256
+
+    def test_compression_direction(self):
+        cmp_in, cmp_out = PayloadModel.sizes_for(K.CMP, 1000)
+        assert cmp_in > cmp_out
+        dcmp_in, dcmp_out = PayloadModel.sizes_for(K.DCMP, 1000)
+        assert dcmp_out > dcmp_in
+
+    def test_bad_median_rejected(self):
+        with pytest.raises(ValueError):
+            self.make(0.0)
+
+
+class TestArrivals:
+    def test_poisson_mean_rate(self):
+        gen = PoissonArrivals(10_000.0, RandomStreams(1).stream("a"))
+        gaps = list(gen.gaps(20_000))
+        mean_gap = sum(gaps) / len(gaps)
+        assert mean_gap == pytest.approx(1e9 / 10_000.0, rel=0.05)
+
+    def test_poisson_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0, RandomStreams(1).stream("a"))
+
+    def test_mmpp_average_rate_matches(self):
+        gen = MmppArrivals(
+            10_000.0, RandomStreams(2).stream("m"), burst_factor=4.0, burst_share=0.15
+        )
+        gaps = list(gen.gaps(40_000))
+        rate = 1e9 / (sum(gaps) / len(gaps))
+        assert rate == pytest.approx(10_000.0, rel=0.1)
+
+    def test_mmpp_burstier_than_poisson(self):
+        """The MMPP gap distribution has a higher coefficient of
+        variation than the exponential's CV of 1."""
+        gen = MmppArrivals(
+            10_000.0, RandomStreams(3).stream("m"), burst_factor=8.0, burst_share=0.1
+        )
+        gaps = list(gen.gaps(40_000))
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        cv = var ** 0.5 / mean
+        assert cv > 1.05
+
+    def test_mmpp_validation(self):
+        stream = RandomStreams(0).stream("m")
+        with pytest.raises(ValueError):
+            MmppArrivals(0.0, stream)
+        with pytest.raises(ValueError):
+            MmppArrivals(100.0, stream, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            MmppArrivals(100.0, stream, burst_share=1.5)
+
+    def test_closed_batch(self):
+        gen = ClosedBatch(think_time_ns=100.0)
+        assert gen.next_gap_ns() == 100.0
+        with pytest.raises(ValueError):
+            ClosedBatch(-1.0)

@@ -1,0 +1,205 @@
+"""Tests for service specs, path accounting and the service suites."""
+
+import pytest
+
+from repro.core import TraceRegistry
+from repro.workloads import (
+    AVERAGE_TAX_FRACTIONS,
+    CpuSegment,
+    ParallelInvocations,
+    ServiceSpec,
+    TaxCategory,
+    TraceInvocation,
+    count_ops_by_category,
+    expand_chain,
+    hotel_reservation_services,
+    media_services,
+    most_common_state,
+    relief_suite_registry,
+    relief_suite_services,
+    serverless_functions,
+    social_network_services,
+    total_accelerators,
+    verify_average_rate,
+)
+
+REGISTRY = TraceRegistry.with_standard_templates()
+
+#: Table IV accelerator counts.
+TABLE_IV = {
+    "CPost": 87,
+    "ReadH": 28,
+    "StoreP": 18,
+    "Follow": 30,
+    "Login": 29,
+    "CUrls": 19,
+    "UniqId": 9,
+    "RegUsr": 25,
+}
+
+
+class TestSpecValidation:
+    def _path(self):
+        return (TraceInvocation("T1"), CpuSegment(), TraceInvocation("T2"))
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ServiceSpec(
+                name="bad",
+                suite="t",
+                total_time_ns=1e6,
+                fractions={TaxCategory.APP_LOGIC: 0.5},
+                path=self._path(),
+                rate_rps=100.0,
+            )
+
+    def test_path_needs_cpu_segment(self):
+        with pytest.raises(ValueError):
+            ServiceSpec(
+                name="bad",
+                suite="t",
+                total_time_ns=1e6,
+                fractions=dict(AVERAGE_TAX_FRACTIONS),
+                path=(TraceInvocation("T1"),),
+                rate_rps=100.0,
+            )
+
+    def test_parallel_needs_two(self):
+        with pytest.raises(ValueError):
+            ParallelInvocations((TraceInvocation("T9"),))
+
+    def test_cpu_segment_split_by_weight(self):
+        spec = ServiceSpec(
+            name="x",
+            suite="t",
+            total_time_ns=1_000_000.0,
+            fractions=dict(AVERAGE_TAX_FRACTIONS),
+            path=(
+                TraceInvocation("T1"),
+                CpuSegment(weight=3.0),
+                CpuSegment(weight=1.0),
+                TraceInvocation("T2"),
+            ),
+            rate_rps=100.0,
+        )
+        segments = [s for s in spec.path if isinstance(s, CpuSegment)]
+        app = spec.app_logic_ns
+        assert spec.cpu_segment_ns(segments[0]) == pytest.approx(app * 0.75)
+        assert spec.cpu_segment_ns(segments[1]) == pytest.approx(app * 0.25)
+
+
+class TestMostCommonState:
+    def test_defaults(self):
+        state = most_common_state({})
+        assert state["hit"] and state["found"]
+        assert not state["compressed"] and not state["exception"]
+
+    def test_forced_overrides(self):
+        state = most_common_state({"hit": False})
+        assert not state["hit"]
+
+
+class TestChainExpansion:
+    def test_t4_expands_to_t5(self):
+        paths = expand_chain(REGISTRY, TraceInvocation("T4", {"hit": True}))
+        names = [repr(p) for p in paths]
+        assert len(paths) == 2  # T4 then T5
+
+    def test_login_chain_reaches_t7(self):
+        paths = expand_chain(
+            REGISTRY,
+            TraceInvocation("T4", {"hit": False, "found": True}),
+        )
+        # T4 -> T5(miss) -> T6 -> (write-back arm) -> T7.
+        assert len(paths) == 4
+
+    def test_cycle_guard(self):
+        from repro.core import atm_link, seq
+
+        registry = TraceRegistry()
+        registry.register(seq("Ser", "TCP", atm_link("loop"), name="loop"))
+        with pytest.raises(ValueError):
+            expand_chain(registry, TraceInvocation("loop"))
+
+
+class TestSocialNetwork:
+    def test_eight_services(self):
+        assert len(social_network_services()) == 8
+
+    @pytest.mark.parametrize("name,expected", sorted(TABLE_IV.items()))
+    def test_table_iv_accelerator_counts(self, name, expected):
+        spec = [s for s in social_network_services() if s.name == name][0]
+        assert total_accelerators(REGISTRY, spec) == expected
+
+    def test_rates_average_paper_value(self):
+        assert verify_average_rate(social_network_services())
+
+    def test_app_logic_fraction_near_paper_average(self):
+        services = social_network_services()
+        mean_app = sum(
+            s.fractions[TaxCategory.APP_LOGIC] for s in services
+        ) / len(services)
+        assert mean_app == pytest.approx(0.207, abs=0.03)
+
+    def test_short_services_are_tax_dominated(self):
+        services = {s.name: s for s in social_network_services()}
+        assert (
+            services["UniqId"].fractions[TaxCategory.APP_LOGIC]
+            < services["CPost"].fractions[TaxCategory.APP_LOGIC]
+        )
+
+    def test_every_nonzero_fraction_has_operations(self):
+        """No service silently drops a tax category's time budget."""
+        from repro.workloads import CostModel
+
+        model = CostModel(REGISTRY)
+        for spec in social_network_services():
+            model.validate(spec)
+
+    def test_login_covers_most_categories(self):
+        spec = [s for s in social_network_services() if s.name == "Login"][0]
+        counts = count_ops_by_category(REGISTRY, spec)
+        nonzero = [c for c in TaxCategory.TAX if counts[c] > 0]
+        assert len(nonzero) >= 5
+
+
+class TestOtherSuites:
+    def test_hotel_services_valid(self):
+        services = hotel_reservation_services()
+        assert len(services) == 6
+        for spec in services:
+            assert total_accelerators(REGISTRY, spec) > 0
+
+    def test_media_services_valid(self):
+        services = media_services()
+        assert len(services) == 6
+        for spec in services:
+            assert total_accelerators(REGISTRY, spec) > 0
+
+    def test_serverless_functions_valid(self):
+        functions = serverless_functions()
+        assert len(functions) == 8
+        names = {f.name for f in functions}
+        assert "ImgRot" in names and "MLServe" in names
+
+    def test_serverless_shorter_than_microservices(self):
+        functions = {f.name: f for f in serverless_functions()}
+        assert functions["ImgRot"].total_time_ns < 1e6
+
+    def test_relief_suite_chains_are_branch_free(self):
+        registry = relief_suite_registry()
+        for trace in registry.traces():
+            assert not trace.has_branches
+
+    def test_relief_suite_services_resolve(self):
+        registry = relief_suite_registry()
+        for spec in relief_suite_services():
+            assert total_accelerators(registry, spec) >= 3
+
+    def test_relief_suite_is_coarse_grained(self):
+        registry = relief_suite_registry()
+        for spec in relief_suite_services():
+            # Coarse apps: few, fat operations (vs ~9-87 fine-grained
+            # tax ops per microservice request).
+            assert spec.total_time_ns >= 3e5
+            assert total_accelerators(registry, spec) <= 6

@@ -1,0 +1,78 @@
+"""Tests for the Train Ticket suite and the branch-statistics analysis."""
+
+import pytest
+
+from repro.core import TraceRegistry
+from repro.experiments import char_branches
+from repro.workloads import CostModel, total_accelerators, train_ticket_services
+
+REGISTRY = TraceRegistry.with_standard_templates()
+
+
+class TestTrainTicketSuite:
+    def test_six_services(self):
+        assert len(train_ticket_services()) == 6
+
+    def test_specs_are_consistent(self):
+        model = CostModel(REGISTRY)
+        for spec in train_ticket_services():
+            model.validate(spec)
+            assert total_accelerators(REGISTRY, spec) > 0
+
+    def test_services_run_end_to_end(self):
+        from repro.server import run_unloaded
+
+        spec = train_ticket_services()[0]
+        result = run_unloaded("accelflow", spec, requests=5)
+        assert result.completed == 5
+
+
+class TestBranchStatistics:
+    def test_covers_all_four_suites(self):
+        result = char_branches.run()
+        assert set(result["shares"]) == {
+            "socialnetwork",
+            "hotel",
+            "media",
+            "trainticket",
+        }
+
+    def test_majority_of_chains_conditional(self):
+        """The paper's Q2 takeaway: most accelerator sequences carry at
+        least one conditional, so interrupting a CPU per branch would be
+        ruinous."""
+        result = char_branches.run()
+        for suite, share in result["shares"].items():
+            assert 0.5 < share <= 1.0, suite
+
+    def test_shares_near_paper_band(self):
+        result = char_branches.run()
+        for suite, share in result["shares"].items():
+            paper = char_branches.PAPER_CONDITIONAL_SHARE[suite]
+            assert abs(share - paper) < 0.25, (suite, share, paper)
+
+
+class TestUSuite:
+    def test_four_benchmarks(self):
+        from repro.workloads import usuite_services
+
+        services = usuite_services()
+        assert len(services) == 4
+        names = {s.name for s in services}
+        assert "HDSearch" in names and "Router" in names
+
+    def test_specs_consistent_and_runnable(self):
+        from repro.server import run_unloaded
+        from repro.workloads import usuite_services
+
+        model = CostModel(REGISTRY)
+        for spec in usuite_services():
+            model.validate(spec)
+        result = run_unloaded("accelflow", usuite_services()[1], requests=4)
+        assert result.completed == 4
+
+    def test_leaf_services_are_short(self):
+        from repro.workloads import usuite_services
+
+        for spec in usuite_services():
+            assert spec.total_time_ns <= 1.2e6  # mid-tier/leaf: <= 1.2 ms
