@@ -1,0 +1,52 @@
+"""Disabled observability must not slow the simulator down.
+
+Acceptance gate for the obs subsystem: with ``RunConfig.obs`` left at
+``None`` *and* with an all-off ``ObsConfig`` attached, the hot paths
+reduce to single attribute checks, so median runtime must stay within
+a few percent of the uninstrumented baseline. Run explicitly with
+``pytest benchmarks/test_obs_overhead.py -s``.
+"""
+
+import statistics
+import time
+
+from repro.obs import ObsConfig
+from repro.server import RunConfig, run_experiment
+from repro.workloads import social_network_services
+
+ROUNDS = 7
+REQUESTS = 150
+# Generous margin over the ±5% acceptance target: single-machine
+# timing noise at this workload size easily exceeds the real cost
+# (a handful of `is None` checks), and a hard gate must not flake.
+MAX_SLOWDOWN = 1.25
+
+
+def _median_runtime(obs):
+    services = [s for s in social_network_services() if s.name == "UniqId"]
+    durations = []
+    for round_index in range(ROUNDS):
+        config = RunConfig(
+            architecture="accelflow",
+            requests_per_service=REQUESTS,
+            seed=round_index,
+            colocated=True,
+            obs=obs,
+        )
+        start = time.perf_counter()
+        run_experiment(services, config)
+        durations.append(time.perf_counter() - start)
+    return statistics.median(durations)
+
+
+def test_disabled_observability_overhead():
+    baseline = _median_runtime(obs=None)
+    disabled = _median_runtime(obs=ObsConfig())  # constructed but all off
+    ratio = disabled / baseline
+    print(
+        f"\nobs overhead: baseline {baseline * 1e3:.1f} ms, "
+        f"disabled-obs {disabled * 1e3:.1f} ms, ratio {ratio:.3f}"
+    )
+    assert ratio < MAX_SLOWDOWN, (
+        f"disabled observability slowed the simulator by {ratio:.2f}x"
+    )

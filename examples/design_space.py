@@ -11,7 +11,7 @@ Run: ``python examples/design_space.py``
 """
 
 from repro.analysis.compare import Candidate, compare_configs
-from repro.hw import MachineParams, QueuePolicy
+from repro.hw import MachineParams
 from repro.server import RunConfig
 from repro.workloads import social_network_services
 

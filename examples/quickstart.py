@@ -10,10 +10,15 @@ This walks the paper's programming model end to end:
    ensemble and execute a request through the trace-driven AccelFlow
    orchestrator.
 
-Run: ``python examples/quickstart.py``
+Run: ``python examples/quickstart.py``; add ``--trace-out trace.json``
+to record the simulated request as a Chrome/Perfetto trace and print
+its ASCII timeline (see ``examples/trace_export.py`` for more).
 """
 
+import argparse
+
 from repro.core import branch, decode_trace, encode_trace, seq, trans
+from repro.obs import ObsConfig, render_timeline, write_chrome_trace
 from repro.server import SimulatedServer
 from repro.workloads import social_network_services
 
@@ -36,6 +41,14 @@ def build_figure_4a_trace():
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of the simulated request",
+    )
+    args = parser.parse_args()
     trace = build_figure_4a_trace()
     print(f"Built trace {trace.name!r} with {len(trace.nodes)} nodes")
     print(f"Branch conditions: {sorted(trace.conditions())}")
@@ -55,7 +68,8 @@ def main():
 
     # Execute a real service request on a simulated AccelFlow server.
     print("\nSimulating one UniqId request on an AccelFlow server...")
-    server = SimulatedServer("accelflow", seed=7)
+    obs = ObsConfig(trace=True) if args.trace_out else None
+    server = SimulatedServer("accelflow", seed=7, obs=obs)
     spec = [s for s in social_network_services() if s.name == "UniqId"][0]
     request = server.make_request(spec)
     done = server.submit(request)
@@ -69,6 +83,12 @@ def main():
     glue = server.orchestrator.glue
     print(f"  dispatcher ops     : {glue.operations} "
           f"(avg {glue.average_instructions():.1f} RISC instructions each)")
+
+    if args.trace_out:
+        write_chrome_trace(server.tracer, args.trace_out)
+        print(f"\nWrote {len(server.tracer)} spans to {args.trace_out} "
+              "(open in chrome://tracing or ui.perfetto.dev)")
+        print(render_timeline(server.tracer, width=72))
 
 
 if __name__ == "__main__":

@@ -7,11 +7,13 @@ its "figure" directly in a terminal or a log file.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
-__all__ = ["bar_chart", "series_chart"]
+__all__ = ["bar_chart", "series_chart", "sparkline"]
 
 _BAR = "#"
+#: Sparkline intensity ramp, lowest to highest (pure ASCII).
+_SPARK_LEVELS = " .:-=+*#%@"
 
 
 def bar_chart(
@@ -33,6 +35,38 @@ def bar_chart(
             f"{value:,.1f}{unit}"
         )
     return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line intensity plot of a series (used for obs time series).
+
+    Values are min-max normalized onto an ASCII ramp. Longer series are
+    downsampled to ``width`` columns by bucket-averaging; shorter ones
+    use one column per sample.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    points = [float(v) for v in values]
+    if not points:
+        return ""
+    if len(points) > width:
+        bucketed: List[float] = []
+        for col in range(width):
+            lo = col * len(points) // width
+            hi = max((col + 1) * len(points) // width, lo + 1)
+            chunk = points[lo:hi]
+            bucketed.append(sum(chunk) / len(chunk))
+        points = bucketed
+    low, high = min(points), max(points)
+    span = high - low
+    top = len(_SPARK_LEVELS) - 1
+    if span <= 0:
+        # Flat series: mid-ramp if nonzero, blank if all-zero.
+        level = 0 if high == 0 else top // 2
+        return _SPARK_LEVELS[level] * len(points)
+    return "".join(
+        _SPARK_LEVELS[int(round((v - low) / span * top))] for v in points
+    )
 
 
 def series_chart(

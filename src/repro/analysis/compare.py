@@ -9,7 +9,7 @@ layouts, queue policies, orchestrators, speedup scaling, ...).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..server import RunConfig, run_experiment

@@ -40,10 +40,8 @@ from .nodes import (
     BranchCondition,
     BranchNode,
     DataFormat,
-    NotifyNode,
     ParallelNode,
     TraceNode,
-    TraceValidationError,
     TransformNode,
 )
 from .registry import TraceRegistry

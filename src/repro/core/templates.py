@@ -11,7 +11,7 @@ stay small on the wire.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 from .builder import atm_link, branch, notify, parallel, seq, trans
 from .trace import Trace

@@ -13,7 +13,7 @@ charged at the accelerators (on-the-fly semantics preserved).
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..hw.params import AcceleratorKind
 from .nodes import (

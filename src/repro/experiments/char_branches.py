@@ -16,7 +16,6 @@ from typing import Dict, List
 from ..core import TraceRegistry
 from ..workloads import (
     ServiceSpec,
-    TraceInvocation,
     expand_chain,
     hotel_reservation_services,
     media_services,

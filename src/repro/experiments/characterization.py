@@ -16,9 +16,9 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..hw import ACCEL_KINDS, AcceleratorKind
+from ..hw import ACCEL_KINDS
 from ..server import RunConfig, energy_summary, run_experiment
-from ..workloads import TaxCategory, social_network_services
+from ..workloads import social_network_services
 from .common import format_table, requests_for
 
 __all__ = ["run_glue", "run_utilization", "run_energy", "run_events"]

@@ -13,7 +13,7 @@ from typing import Dict, List, Optional
 
 from ..hw import QueuePolicy
 from ..server import max_throughput_search, run_unloaded
-from ..workloads import ServiceSpec, social_network_services
+from ..workloads import social_network_services
 from .common import format_table, requests_for
 
 __all__ = ["run"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..hw import MachineParams, PROCESSOR_GENERATIONS
+from ..hw import MachineParams
 from ..server import RunConfig, run_experiment
 from ..workloads import social_network_services
 from .common import format_table, pct_reduction, requests_for

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..core import TraceRegistry, encoded_nibbles, fits
+from ..core import TraceRegistry, fits
 from ..core.encoding import accel_slots
 from ..core.templates import TEMPLATE_DESCRIPTIONS
 from .common import format_table

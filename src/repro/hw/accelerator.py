@@ -69,6 +69,7 @@ class Accelerator:
         params: MachineParams,
         tlb: TlbModel,
         policy: str = QueuePolicy.FIFO,
+        tracer=None,
     ):
         if policy not in QueuePolicy.ALL:
             raise ValueError(f"unknown queue policy {policy!r}")
@@ -79,6 +80,11 @@ class Accelerator:
         self.speedup = params.speedup_of(kind)
         self.tlb = tlb
         self.policy = policy
+        #: Optional :class:`repro.obs.SpanTracer`; queue-wait and PE
+        #: execution spans are recorded for entries carrying a sampled
+        #: request id in ``context["obs_rid"]``.
+        self.tracer = tracer
+        self.track = f"accel:{kind.value}"
 
         if policy == QueuePolicy.FIFO:
             self.input_queue: Store = Store(
@@ -177,6 +183,19 @@ class Accelerator:
         env = self.env
         entry.dispatch_time = env.now
         self.queue_waits.append(entry.queue_wait_ns)
+        obs_rid = None
+        if self.tracer is not None:
+            obs_rid = entry.context.get("obs_rid")
+            if obs_rid is not None and entry.queue_wait_ns > 0:
+                self.tracer.complete(
+                    "queue-wait",
+                    self.track,
+                    entry.enqueue_time,
+                    env.now,
+                    rid=obs_rid,
+                    cat="queue",
+                    args={"overflow": entry.from_overflow},
+                )
         if entry.deadline_ns is not None and env.now > entry.deadline_ns:
             self.deadline_violations += 1
         self._busy_pes.add(1.0, env.now)
@@ -213,6 +232,17 @@ class Accelerator:
             self._busy_pes.add(-1.0, env.now)
         entry.complete_time = env.now
         self.ops_completed += 1
+        if obs_rid is not None:
+            self.tracer.complete(
+                "exec",
+                self.track,
+                entry.dispatch_time,
+                env.now,
+                rid=obs_rid,
+                cat="pe",
+                args={"pe": pe.index, "bytes_in": entry.op.data_in,
+                      "bytes_out": entry.op.data_out},
+            )
         self._free_pes.try_put(pe)
         entry.done.succeed(entry)
 
@@ -226,6 +256,11 @@ class Accelerator:
         return self.output_queue.remove(entry)
 
     # -- statistics -------------------------------------------------------------
+    @property
+    def busy_pes(self) -> float:
+        """Instantaneous number of busy PEs (for metrics sampling)."""
+        return self._busy_pes.value
+
     def utilization(self) -> float:
         """Average fraction of PEs busy over the run."""
         return self._busy_pes.average(self.env.now) / len(self.pes)

@@ -22,7 +22,9 @@ class DmaPool:
     #: Fixed cost of programming an engine with a descriptor.
     PROGRAM_NS = 10.0
 
-    def __init__(self, env: Environment, network: Network, engines: int = 10):
+    def __init__(
+        self, env: Environment, network: Network, engines: int = 10, tracer=None
+    ):
         if engines <= 0:
             raise ValueError(f"engines must be positive, got {engines}")
         self.env = env
@@ -33,14 +35,18 @@ class DmaPool:
         self.bytes_moved = 0
         self._busy = TimeWeightedValue(0.0, env.now)
         self._busy_ns = 0.0
+        #: Optional :class:`repro.obs.SpanTracer`; transfers on behalf
+        #: of a sampled request (``obs_rid`` passed) record "dma" spans.
+        self.tracer = tracer
 
     @property
     def in_use(self) -> int:
         return self._pool.count
 
-    def transfer(self, src: Endpoint, dst: Endpoint, nbytes: int):
+    def transfer(self, src: Endpoint, dst: Endpoint, nbytes: int, obs_rid=None):
         """Process: move ``nbytes`` using one engine (waits if all busy)."""
         env = self.env
+        requested = env.now
         with self._pool.request() as req:
             yield req
             start = env.now
@@ -53,6 +59,18 @@ class DmaPool:
                 self._busy_ns += env.now - start
         self.transfers += 1
         self.bytes_moved += nbytes
+        if self.tracer is not None and obs_rid is not None:
+            src_name = getattr(src, "value", str(src))
+            dst_name = getattr(dst, "value", str(dst))
+            self.tracer.complete(
+                f"dma {src_name}->{dst_name}",
+                "dma",
+                requested,
+                env.now,
+                rid=obs_rid,
+                cat="dma",
+                args={"bytes": nbytes, "engine_wait_ns": start - requested},
+            )
 
     def estimate_ns(self, src: Endpoint, dst: Endpoint, nbytes: int) -> float:
         return self.PROGRAM_NS + self.network.estimate_ns(src, dst, nbytes)

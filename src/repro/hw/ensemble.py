@@ -32,15 +32,18 @@ class ServerHardware:
         params: MachineParams,
         streams: RandomStreams,
         queue_policy: str = QueuePolicy.FIFO,
+        tracer=None,
     ):
         self.env = env
         self.params = params
         self.streams = streams
         self.queue_policy = queue_policy
+        self.tracer = tracer
 
         self.cores = CorePool(env, params.cpu)
         self.network = Network(env, params)
-        self.dma = DmaPool(env, self.network, engines=params.dma_engines)
+        self.dma = DmaPool(env, self.network, engines=params.dma_engines,
+                           tracer=tracer)
         self.atm = AtmMemory(env, params.atm)
 
         self.iommus: Dict[int, Iommu] = {
@@ -59,7 +62,8 @@ class ServerHardware:
                     streams.stream(f"tlb/{kind.value}/{index}"),
                 )
                 kind_instances.append(
-                    Accelerator(env, kind, params, tlb, policy=queue_policy)
+                    Accelerator(env, kind, params, tlb, policy=queue_policy,
+                                tracer=tracer)
                 )
             self.instances[kind] = kind_instances
 
@@ -76,6 +80,20 @@ class ServerHardware:
         return [a for instances in self.instances.values() for a in instances]
 
     # -- aggregate statistics -------------------------------------------------
+    def queue_depths(self) -> Dict[AcceleratorKind, int]:
+        """Instantaneous input occupancy (queue + overflow) per kind."""
+        return {
+            kind: sum(a.input_occupancy for a in instances)
+            for kind, instances in self.instances.items()
+        }
+
+    def busy_pe_fraction(self, kind: AcceleratorKind) -> float:
+        """Instantaneous fraction of this kind's PEs that are busy."""
+        instances = self.instances[kind]
+        total = sum(len(a.pes) for a in instances)
+        busy = sum(a.busy_pes for a in instances)
+        return busy / total if total else 0.0
+
     def accelerator_utilizations(self) -> Dict[AcceleratorKind, float]:
         return {
             kind: sum(a.utilization() for a in instances) / len(instances)

@@ -1,0 +1,39 @@
+"""Observability: request-flow tracing, time-series metrics, profiling.
+
+Three layers, all opt-in through one :class:`ObsConfig` object:
+
+* :class:`SpanTracer` records each sampled request's lifecycle (queue
+  waits, PE execution, dispatcher work, DTE transforms, ATM reads, DMA
+  hand-offs, notifications) as spans with nanosecond sim-timestamps.
+  Export with :func:`chrome_trace` / :func:`write_chrome_trace`
+  (``chrome://tracing`` / Perfetto compatible) or render in a terminal
+  with :func:`render_timeline`.
+* :class:`MetricsRegistry` runs a periodic sampler process that records
+  queue depths, utilizations, in-flight requests and achieved RPS into
+  ring buffers; render with :meth:`MetricsRegistry.render` sparklines.
+* Kernel profiling lives in :class:`repro.sim.Environment` (enabled via
+  ``ObsConfig.profile_kernel``); :func:`format_profile` renders it.
+
+Disabled observability costs a single ``is not None`` attribute check
+at each instrumentation point.
+"""
+
+from .config import ObsConfig, ObsSession
+from .export import chrome_trace, write_chrome_trace
+from .metrics import MetricsRegistry, TimeSeries
+from .profiling import format_profile
+from .span import Span, SpanTracer
+from .timeline import render_timeline
+
+__all__ = [
+    "MetricsRegistry",
+    "ObsConfig",
+    "ObsSession",
+    "Span",
+    "SpanTracer",
+    "TimeSeries",
+    "chrome_trace",
+    "format_profile",
+    "render_timeline",
+    "write_chrome_trace",
+]

@@ -1,0 +1,81 @@
+"""The single switchboard for all observability features.
+
+One :class:`ObsConfig` travels from the caller through
+:class:`~repro.server.driver.RunConfig` into
+:class:`~repro.server.machine.SimulatedServer`, which builds the
+runtime objects (tracer, metrics registry) and registers them back here
+as an :class:`ObsSession`. After a run::
+
+    obs = ObsConfig(trace=True, metrics=True)
+    run_experiment(services, RunConfig("accelflow", obs=obs))
+    write_chrome_trace(obs.tracer, "trace.json")
+    print(obs.registry.render())
+
+Dedicated-mode experiments create one server per service; each server
+appends its own session, and the ``tracer``/``registry`` shortcuts
+return the most recent one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .span import SpanTracer
+
+__all__ = ["ObsConfig", "ObsSession"]
+
+
+@dataclass
+class ObsSession:
+    """The observability objects of one simulated server."""
+
+    env: object
+    tracer: Optional[SpanTracer] = None
+    registry: Optional[MetricsRegistry] = None
+
+
+@dataclass
+class ObsConfig:
+    """What to observe. All features default to off."""
+
+    #: Record request-flow spans.
+    trace: bool = False
+    #: Fraction of requests traced, per service (stride sampling).
+    sample_rate: float = 1.0
+    #: Only trace these services (None = all).
+    trace_services: Optional[Sequence[str]] = None
+    #: Span memory bound; beyond it spans are dropped (and counted).
+    max_spans: int = 200_000
+    #: Run the periodic time-series sampler.
+    metrics: bool = False
+    #: Sampling period of the metrics process (sim ns).
+    metrics_interval_ns: float = 1e6
+    #: Ring-buffer capacity per time series (also the sampler's tick
+    #: budget, so a bare ``env.run()`` still terminates).
+    metrics_capacity: int = 1024
+    #: Enable :class:`repro.sim.Environment` kernel profiling.
+    profile_kernel: bool = False
+    #: Sessions registered by the servers that used this config.
+    sessions: List[ObsSession] = field(default_factory=list, repr=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.metrics or self.profile_kernel
+
+    @property
+    def tracer(self) -> Optional[SpanTracer]:
+        """Tracer of the most recent session (None before any run)."""
+        for session in reversed(self.sessions):
+            if session.tracer is not None:
+                return session.tracer
+        return None
+
+    @property
+    def registry(self) -> Optional[MetricsRegistry]:
+        """Metrics registry of the most recent session."""
+        for session in reversed(self.sessions):
+            if session.registry is not None:
+                return session.registry
+        return None

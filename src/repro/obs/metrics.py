@@ -1,0 +1,137 @@
+"""Time-series metrics: ring-buffered gauges behind a periodic sampler.
+
+A :class:`MetricsRegistry` owns named :class:`TimeSeries` ring buffers
+and a simulation process that samples registered gauge callables every
+``interval_ns``. The sampler stops after ``capacity`` ticks so a bare
+``env.run()`` (no ``until``) still terminates; long experiments should
+widen ``interval_ns`` or ``capacity`` to cover their horizon.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["MetricsRegistry", "TimeSeries"]
+
+
+class TimeSeries:
+    """Fixed-capacity (time, value) ring buffer."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self._times: deque = deque(maxlen=capacity)
+        self._values: deque = deque(maxlen=capacity)
+
+    def push(self, t_ns: float, value: float) -> None:
+        self._times.append(t_ns)
+        self._values.append(value)
+
+    @property
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def last(self) -> Optional[float]:
+        return self._values[-1] if self._values else None
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class MetricsRegistry:
+    """Named gauges sampled periodically into ring buffers.
+
+    * :meth:`gauge` registers a callable sampled verbatim each tick.
+    * :meth:`rate_gauge` registers a monotonically increasing counter
+      callable; the recorded series is its per-second rate of change.
+    """
+
+    def __init__(self, env, interval_ns: float = 1e6, capacity: int = 1024):
+        if interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+        self.env = env
+        self.interval_ns = interval_ns
+        self.capacity = capacity
+        self.series: Dict[str, TimeSeries] = {}
+        self._gauges: List[Tuple[str, Callable[[], float]]] = []
+        self._rates: List[Tuple[str, Callable[[], float], List[float]]] = []
+        self._started = False
+        self.ticks = 0
+
+    def gauge(self, name: str, fn: Callable[[], float]) -> TimeSeries:
+        """Sample ``fn()`` every tick into the series ``name``."""
+        series = self._series(name)
+        self._gauges.append((name, fn))
+        return series
+
+    def rate_gauge(self, name: str, fn: Callable[[], float]) -> TimeSeries:
+        """Record the per-second growth rate of the counter ``fn()``."""
+        series = self._series(name)
+        self._rates.append((name, fn, [float(fn())]))
+        return series
+
+    def _series(self, name: str) -> TimeSeries:
+        if name in self.series:
+            raise ValueError(f"duplicate metric name {name!r}")
+        series = TimeSeries(name, self.capacity)
+        self.series[name] = series
+        return series
+
+    def start(self) -> None:
+        """Launch the sampler process (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._sampler(), name="obs-metrics")
+
+    def stop(self) -> None:
+        """Make the sampler exit at its next tick."""
+        self._started = False
+
+    def _sampler(self):
+        env = self.env
+        interval_s = self.interval_ns * 1e-9
+        while self._started and self.ticks < self.capacity:
+            yield env.timeout(self.interval_ns)
+            now = env.now
+            self.ticks += 1
+            for name, fn in self._gauges:
+                self.series[name].push(now, float(fn()))
+            for name, fn, prev in self._rates:
+                current = float(fn())
+                self.series[name].push(now, (current - prev[0]) / interval_s)
+                prev[0] = current
+
+    # -- rendering ---------------------------------------------------------
+    def render(self, width: int = 60, names: Optional[List[str]] = None) -> str:
+        """Sparkline block: one row per series with min/last/max."""
+        # Imported here: the analysis package pulls in the experiment
+        # harness, which imports the server layer, which imports obs.
+        from ..analysis.ascii_chart import sparkline
+
+        chosen = names if names is not None else sorted(self.series)
+        if not chosen:
+            return "(no metrics)"
+        label_width = max(len(n) for n in chosen)
+        lines = []
+        for name in chosen:
+            series = self.series[name]
+            values = series.values
+            if not values:
+                lines.append(f"{name.ljust(label_width)} (no samples)")
+                continue
+            spark = sparkline(values, width=width)
+            lines.append(
+                f"{name.ljust(label_width)} |{spark}| "
+                f"min {min(values):,.1f}  last {values[-1]:,.1f}  "
+                f"max {max(values):,.1f}"
+            )
+        return "\n".join(lines)

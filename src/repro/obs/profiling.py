@@ -1,0 +1,37 @@
+"""Presentation helpers for the sim kernel's profiling hooks.
+
+The collection itself lives in :class:`repro.sim.core.KernelProfile`
+(enabled with ``Environment(profile=True)`` or
+``ObsConfig.profile_kernel``); this module only renders its summary.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_profile"]
+
+
+def format_profile(env, top: int = 10) -> str:
+    """Tabulate an environment's kernel profile (hot processes first)."""
+    profile = getattr(env, "profile", None)
+    if profile is None:
+        return "(kernel profiling disabled)"
+    stats = profile.summary()
+    lines = [
+        f"events processed : {stats['events']:,}",
+        f"peak event queue : {stats['peak_queue']:,}",
+        f"attributed wall  : {stats['wall_s'] * 1e3:,.1f} ms",
+    ]
+    rows = sorted(
+        stats["by_process"].items(), key=lambda kv: kv[1]["wall_s"], reverse=True
+    )
+    if rows:
+        name_width = max(len(name) for name, _ in rows[:top])
+        lines.append(f"{'process'.ljust(name_width)}  {'events':>10}  {'wall':>9}")
+        for name, row in rows[:top]:
+            lines.append(
+                f"{name.ljust(name_width)}  {row['events']:>10,}  "
+                f"{row['wall_s'] * 1e3:>7,.1f}ms"
+            )
+        if len(rows) > top:
+            lines.append(f"... and {len(rows) - top} more process groups")
+    return "\n".join(lines)

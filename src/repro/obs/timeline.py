@@ -1,0 +1,93 @@
+"""ASCII timeline rendering of recorded spans.
+
+One row group per track; overlapping spans within a track are placed
+into lanes (greedy first-fit, like a GUI trace viewer's nesting rows).
+Each span paints ``=`` across its extent with the first letters of its
+name at the start; instants paint ``*``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .span import Span, SpanTracer
+
+__all__ = ["render_timeline"]
+
+_MAX_LANES = 6
+
+
+def _assign_lanes(spans: List[Span]) -> List[List[Span]]:
+    """Greedy first-fit lane assignment by start time."""
+    lanes: List[List[Span]] = []
+    for span in sorted(spans, key=lambda s: (s.start_ns, s.end_ns or s.start_ns)):
+        for lane in lanes:
+            if (lane[-1].end_ns or lane[-1].start_ns) <= span.start_ns:
+                lane.append(span)
+                break
+        else:
+            lanes.append([span])
+    return lanes
+
+
+def _paint(lane: List[Span], t0: float, scale: float, width: int) -> str:
+    cells = [" "] * width
+    for span in lane:
+        start = int((span.start_ns - t0) * scale)
+        end_ns = span.end_ns if span.end_ns is not None else span.start_ns
+        end = int((end_ns - t0) * scale)
+        start = min(max(start, 0), width - 1)
+        end = min(max(end, start), width - 1)
+        if span.is_instant or span.end_ns is None:
+            cells[start] = "*"
+            continue
+        for col in range(start, end + 1):
+            cells[col] = "="
+        label = span.name[: end - start + 1]
+        for offset, char in enumerate(label):
+            cells[start + offset] = char
+    return "".join(cells)
+
+
+def render_timeline(
+    tracer: SpanTracer,
+    width: int = 100,
+    req: Optional[int] = None,
+    tracks: Optional[List[str]] = None,
+) -> str:
+    """Render spans as per-track ASCII lanes.
+
+    ``req`` restricts the view to one trace-local request index (plus
+    hardware-level spans are dropped rather than shown unattributed);
+    ``tracks`` restricts and orders the rows.
+    """
+    spans = [s for s in tracer.spans if s.end_ns is not None]
+    if req is not None:
+        spans = [s for s in spans if s.req == req]
+    chosen = tracks if tracks is not None else tracer.tracks()
+    spans = [s for s in spans if s.track in set(chosen)]
+    if not spans:
+        return "(no spans)"
+    t0 = min(s.start_ns for s in spans)
+    t1 = max(s.end_ns for s in spans)
+    span_ns = max(t1 - t0, 1.0)
+    scale = (width - 1) / span_ns
+    label_width = max(len(t) for t in chosen if any(s.track == t for s in spans))
+    header = (
+        f"timeline {t0:,.0f} .. {t1:,.0f} ns  "
+        f"(1 col = {span_ns / (width - 1):,.0f} ns)"
+    )
+    lines = [header]
+    for track in chosen:
+        track_spans = [s for s in spans if s.track == track]
+        if not track_spans:
+            continue
+        lanes = _assign_lanes(track_spans)
+        shown, hidden = lanes[:_MAX_LANES], lanes[_MAX_LANES:]
+        for index, lane in enumerate(shown):
+            label = track if index == 0 else ""
+            lines.append(f"{label.ljust(label_width)} |{_paint(lane, t0, scale, width)}|")
+        if hidden:
+            more = sum(len(lane) for lane in hidden)
+            lines.append(f"{''.ljust(label_width)} |  ... {more} more spans")
+    return "\n".join(lines)

@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..core.trace import ResolvedStep
 from ..hw.ops import QueueEntry
+from ..hw.params import cycles_to_ns
 from ..workloads.request import Buckets, Request
 from .base import Orchestrator
 
@@ -41,15 +42,69 @@ class AccelFlowOrchestrator(Orchestrator):
         start = env.now
         with accel.output_dispatcher.request() as dispatcher:
             yield dispatcher
+            acquired = env.now
             self.glue.record(step)
             yield env.timeout(self.glue.dispatch_time_ns(step, entry.op.data_out))
+            dispatched = env.now
             if step.atm_read_after:
                 yield env.process(self.hardware.atm.read(self._atm_slot(step)))
         request.add(Buckets.ORCHESTRATION, env.now - start)
+        rid = self._obs_rid(request)
+        if rid is not None:
+            self._record_dispatch_spans(
+                request, step, entry, accel, start, acquired, dispatched, rid
+            )
         if step.notify_after:
             yield from self.deliver_result(request, step, entry)
         elif next_step is not None:
             yield from self.dma_to_next(request, step, entry, next_step)
+
+    def _record_dispatch_spans(
+        self, request, step, entry, accel, start, acquired, dispatched, rid
+    ):
+        """Break one output-dispatcher operation into nested spans."""
+        env = self.env
+        tracer = self.tracer
+        tracer.complete(
+            "output-dispatch",
+            accel.track,
+            start,
+            env.now,
+            rid=rid,
+            cat="dispatch",
+            args={
+                "fsm_wait_ns": round(acquired - start, 1),
+                "instructions": self.glue.instructions_for(step),
+                "branches": step.branches_after,
+                "transforms": step.transforms_after,
+            },
+        )
+        if step.branches_after:
+            branch_ns = cycles_to_ns(
+                float(self.glue.BRANCH_INSTRUCTIONS * step.branches_after),
+                self.glue.ghz,
+            )
+            tracer.complete(
+                "branch-resolve", accel.track, acquired, acquired + branch_ns,
+                rid=rid, cat="dispatch",
+                args={"branches": step.branches_after},
+            )
+        if step.transforms_after:
+            dte_ns = (
+                step.transforms_after
+                * entry.op.data_out
+                / self.glue.DTE_BYTES_PER_NS
+            )
+            tracer.complete(
+                "dte-transform", accel.track, dispatched - dte_ns, dispatched,
+                rid=rid, cat="dispatch",
+                args={"bytes": entry.op.data_out},
+            )
+        if step.atm_read_after:
+            tracer.complete(
+                "atm-read", accel.track, dispatched, env.now,
+                rid=rid, cat="dispatch",
+            )
 
     def _atm_slot(self, step: ResolvedStep) -> int:
         """The ATM address the dispatcher reads for the follow-on trace.

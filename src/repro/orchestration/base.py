@@ -32,12 +32,7 @@ from ..workloads.request import Buckets, Request
 from ..sim import Environment, RandomStreams
 from ..workloads.calibration import OrchestrationCosts, RemoteLatencies
 from ..workloads.costs import CostModel
-from ..workloads.spec import (
-    CpuSegment,
-    ParallelInvocations,
-    ServiceSpec,
-    TraceInvocation,
-)
+from ..workloads.spec import CpuSegment, ParallelInvocations, TraceInvocation
 
 __all__ = ["Orchestrator", "StepOutcome", "REMOTE_DEPENDENCY_OF_TRACE"]
 
@@ -90,12 +85,16 @@ class Orchestrator:
         streams: RandomStreams,
         orch_costs: Optional[OrchestrationCosts] = None,
         remotes: Optional[RemoteLatencies] = None,
+        tracer=None,
     ):
         self.env = env
         self.hardware = hardware
         self.registry = registry
         self.cost_model = cost_model
         self.streams = streams
+        #: Optional :class:`repro.obs.SpanTracer` (one attribute check
+        #: per instrumentation point when tracing is off).
+        self.tracer = tracer
         self.costs = orch_costs or OrchestrationCosts()
         self.remotes = remotes or RemoteLatencies()
         self.glue = GlueCostModel(hardware.params.cpu.ghz)
@@ -105,6 +104,16 @@ class Orchestrator:
         self.tcp_timeouts = 0
         self.chains_executed = 0
         self._tenant_waiters: Dict[int, List] = {}
+
+    # ------------------------------------------------------------------
+    # Observability helpers
+    # ------------------------------------------------------------------
+    def _obs_rid(self, request: Request) -> Optional[int]:
+        """The request's id iff this request is being traced."""
+        tracer = self.tracer
+        if tracer is not None and tracer.is_sampled(request.rid):
+            return request.rid
+        return None
 
     # ------------------------------------------------------------------
     # Request-level walk
@@ -130,6 +139,23 @@ class Orchestrator:
             if request.error or request.timed_out:
                 break
         request.complete_ns = env.now
+        rid = self._obs_rid(request)
+        if rid is not None:
+            self.tracer.complete(
+                f"request {spec.name}",
+                f"req:{spec.name}",
+                request.arrival_ns,
+                env.now,
+                rid=rid,
+                cat="request",
+                args={
+                    "ops": request.accelerator_ops,
+                    "error": request.error,
+                    "fell_back": request.fell_back,
+                    **{k: round(v, 1) for k, v in request.components.items() if v},
+                },
+            )
+            self.tracer.finish_request(request.rid)
 
     # ------------------------------------------------------------------
     # Chain-level walk (entry trace + ATM links + remote waits)
@@ -141,7 +167,6 @@ class Orchestrator:
         yield from self._chain(request, invocation.entry, state, first=True)
 
     def _chain(self, request: Request, name: str, state: Dict[str, bool], first: bool):
-        env = self.env
         iteration = 0
         while name:
             trace = self.registry.get(name)
@@ -193,8 +218,20 @@ class Orchestrator:
         median = getattr(self.remotes, f"{dependency}_ns")
         median *= REMOTE_ARCHITECTURE_SCALE.get(self.name, 1.0)
         delay = self._remote_stream.lognormal_median(median, self.remotes.sigma)
+        start = env.now
         yield env.timeout(delay)
         request.add(Buckets.REMOTE, delay)
+        rid = self._obs_rid(request)
+        if rid is not None:
+            self.tracer.complete(
+                f"remote-wait {dependency}",
+                f"req:{request.spec.name}",
+                start,
+                env.now,
+                rid=rid,
+                cat="remote",
+                args={"trace": next_name},
+            )
         return True
 
     # ------------------------------------------------------------------
@@ -277,6 +314,18 @@ class Orchestrator:
         )
         request.add(Buckets.CPU, duration_ns)
         request.add(Buckets.QUEUE, env.now - start - duration_ns)
+        rid = self._obs_rid(request)
+        if rid is not None:
+            self.tracer.complete(
+                "cpu",
+                "cores",
+                start,
+                env.now,
+                rid=rid,
+                cat="cpu",
+                args={"busy_ns": round(duration_ns, 1),
+                      "wait_ns": round(env.now - start - duration_ns, 1)},
+            )
 
     # ------------------------------------------------------------------
     # Tenant slot waiting (event-based, no polling)
@@ -318,6 +367,10 @@ class Orchestrator:
             priority=request.priority,
             deadline_ns=request.slo_deadline_ns,
         )
+        rid = self._obs_rid(request)
+        if rid is not None:
+            # Lets the accelerator attribute queue/PE spans to us.
+            entry.context["obs_rid"] = rid
         # Each attempt targets the least-occupied instance of the type
         # (a failing Enqueue "retries with another accelerator of the
         # same type", Section IV-A).
@@ -370,19 +423,37 @@ class Orchestrator:
         """Move the output payload into the next accelerator's queue."""
         start = self.env.now
         yield self.env.process(
-            self.hardware.dma.transfer(step.kind, next_step.kind, entry.op.data_out)
+            self.hardware.dma.transfer(
+                step.kind, next_step.kind, entry.op.data_out,
+                obs_rid=self._obs_rid(request),
+            )
         )
         request.add(Buckets.COMMUNICATION, self.env.now - start)
 
     def deliver_result(self, request: Request, step: ResolvedStep, entry: QueueEntry):
         """DMA the final payload to memory and notify the core."""
-        start = self.env.now
-        yield self.env.process(
-            self.hardware.dma.transfer(step.kind, CPU_ENDPOINT, entry.op.data_out)
+        env = self.env
+        start = env.now
+        rid = self._obs_rid(request)
+        yield env.process(
+            self.hardware.dma.transfer(
+                step.kind, CPU_ENDPOINT, entry.op.data_out, obs_rid=rid
+            )
         )
+        notify_start = env.now
         notify_ns = self.hardware.cores.notification_ns()
-        yield self.env.timeout(notify_ns)
-        request.add(Buckets.COMMUNICATION, self.env.now - start)
+        yield env.timeout(notify_ns)
+        request.add(Buckets.COMMUNICATION, env.now - start)
+        if rid is not None:
+            self.tracer.complete(
+                "notify",
+                "cores",
+                notify_start,
+                env.now,
+                rid=rid,
+                cat="notify",
+                args={"from": step.kind.value},
+            )
 
     def stats(self) -> Dict[str, float]:
         return {

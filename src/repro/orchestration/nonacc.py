@@ -12,7 +12,7 @@ from typing import Dict, Optional
 
 from ..core.trace import ResolvedPath, ResolvedStep
 from ..hw.ops import QueueEntry
-from ..workloads.request import Buckets, Request
+from ..workloads.request import Request
 from .base import Orchestrator, StepOutcome
 
 __all__ = ["NonAcceleratedOrchestrator"]

@@ -16,11 +16,12 @@ the highest per-service load whose P99 stays within the SLO (Fig 14).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..hw.accelerator import QueuePolicy
 from ..hw.params import MachineParams
+from ..obs import ObsConfig
 from ..workloads.arrivals import MmppArrivals, PoissonArrivals
 from ..workloads.calibration import (
     BranchProbabilities,
@@ -31,7 +32,6 @@ from ..core.registry import TraceRegistry
 from ..workloads.spec import ServiceSpec
 from .machine import SimulatedServer
 from .metrics import ExperimentResult, ServiceResult
-from ..workloads.request import Request
 
 __all__ = ["RunConfig", "run_experiment", "run_unloaded", "max_throughput_search"]
 
@@ -67,6 +67,11 @@ class RunConfig:
     branch_probs: Optional[BranchProbabilities] = None
     #: Custom trace catalogue (defaults to the standard T1-T12 set).
     registry: Optional[TraceRegistry] = None
+    #: Observability switchboard (tracing / metrics / kernel profiling).
+    #: Dedicated-mode runs create one server per service, each appending
+    #: its own session to this config; use colocated or single-service
+    #: runs for one consolidated trace.
+    obs: Optional[ObsConfig] = None
 
 
 def _make_server(config: RunConfig, seed_offset: int = 0) -> SimulatedServer:
@@ -79,6 +84,7 @@ def _make_server(config: RunConfig, seed_offset: int = 0) -> SimulatedServer:
         orch_costs=config.orch_costs,
         remotes=config.remotes,
         branch_probs=config.branch_probs,
+        obs=config.obs,
     )
 
 
@@ -163,7 +169,6 @@ def run_experiment(
         return _finish(server, per_service, config, services)
 
     merged: Dict[str, ServiceResult] = {}
-    last_server: Optional[SimulatedServer] = None
     elapsed = 0.0
     hardware_stats: Dict[str, object] = {}
     orch_stats: Dict[str, object] = {}
@@ -220,6 +225,7 @@ def run_unloaded(
     orch_costs: Optional[OrchestrationCosts] = None,
     remotes: Optional[RemoteLatencies] = None,
     registry: Optional[TraceRegistry] = None,
+    obs: Optional[ObsConfig] = None,
 ) -> ServiceResult:
     """Run requests one at a time (no contention; Fig 17 methodology)."""
     server = SimulatedServer(
@@ -229,6 +235,7 @@ def run_unloaded(
         seed=seed,
         orch_costs=orch_costs,
         remotes=remotes,
+        obs=obs,
     )
     result = ServiceResult(spec.name, warmup_fraction=0.0)
 

@@ -8,6 +8,7 @@ from ..core.registry import TraceRegistry
 from ..hw.accelerator import QueuePolicy
 from ..hw.ensemble import ServerHardware
 from ..hw.params import MachineParams
+from ..obs import MetricsRegistry, ObsConfig, ObsSession, SpanTracer
 from ..orchestration import make_orchestrator
 from ..sim import Environment, RandomStreams
 from ..workloads.calibration import (
@@ -36,14 +37,39 @@ class SimulatedServer:
         orch_costs: Optional[OrchestrationCosts] = None,
         remotes: Optional[RemoteLatencies] = None,
         branch_probs: Optional[BranchProbabilities] = None,
+        obs: Optional[ObsConfig] = None,
     ):
         self.architecture = architecture
         self.params = machine_params or MachineParams()
         self.registry = registry or TraceRegistry.with_standard_templates()
-        self.env = Environment()
+        self.obs = obs
+        self.env = Environment(
+            profile=obs.profile_kernel if obs is not None else False
+        )
+        self.tracer: Optional[SpanTracer] = None
+        self.metrics: Optional[MetricsRegistry] = None
+        if obs is not None:
+            if obs.trace:
+                self.tracer = SpanTracer(
+                    self.env,
+                    sample_rate=obs.sample_rate,
+                    services=obs.trace_services,
+                    max_spans=obs.max_spans,
+                )
+            if obs.metrics:
+                self.metrics = MetricsRegistry(
+                    self.env,
+                    interval_ns=obs.metrics_interval_ns,
+                    capacity=obs.metrics_capacity,
+                )
+            obs.sessions.append(ObsSession(self.env, self.tracer, self.metrics))
         self.streams = RandomStreams(seed)
         self.hardware = ServerHardware(
-            self.env, self.params, self.streams, queue_policy=queue_policy
+            self.env,
+            self.params,
+            self.streams,
+            queue_policy=queue_policy,
+            tracer=self.tracer,
         )
         self.cost_model = CostModel(self.registry, generation=self.params.generation)
         self.orchestrator = make_orchestrator(
@@ -55,10 +81,34 @@ class SimulatedServer:
             self.streams,
             orch_costs=orch_costs,
             remotes=remotes,
+            tracer=self.tracer,
         )
         self.branch_probs = branch_probs or BranchProbabilities()
         self._field_stream = self.streams.stream("fields")
         self._payload_models: Dict[str, PayloadModel] = {}
+        self._inflight = 0
+        self._completed = 0
+        if self.metrics is not None:
+            self._register_gauges()
+            self.metrics.start()
+
+    def _register_gauges(self) -> None:
+        """Default time series: queues, utilization, in-flight, RPS."""
+        registry = self.metrics
+        registry.gauge("inflight", lambda: float(self._inflight))
+        registry.rate_gauge("rps", lambda: float(self._completed))
+        registry.gauge("cores_busy", lambda: float(self.hardware.cores.in_use))
+        for kind, instances in self.hardware.instances.items():
+            registry.gauge(
+                f"qdepth:{kind.value}",
+                lambda insts=instances: float(
+                    sum(a.input_occupancy for a in insts)
+                ),
+            )
+            registry.gauge(
+                f"util:{kind.value}",
+                lambda k=kind: self.hardware.busy_pe_fraction(k),
+            )
 
     def _payload_model(self, spec: ServiceSpec) -> PayloadModel:
         model = self._payload_models.get(spec.name)
@@ -88,7 +138,23 @@ class SimulatedServer:
 
     def submit(self, request: Request):
         """Start executing ``request``; returns its completion process."""
-        return self.env.process(
+        tracer = self.tracer
+        if tracer is not None and tracer.sample_request(request):
+            tracer.instant(
+                "arrival",
+                f"req:{request.spec.name}",
+                rid=request.rid,
+                args={"wire_size": request.wire_size},
+            )
+        process = self.env.process(
             self.orchestrator.execute_request(request),
             name=f"req-{request.rid}",
         )
+        if self.metrics is not None:
+            self._inflight += 1
+            process.callbacks.append(self._request_retired)
+        return process
+
+    def _request_retired(self, _event) -> None:
+        self._inflight -= 1
+        self._completed += 1

@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict
 
 from ..hw.params import AcceleratorKind
 from ..hw.power import EnergyModel
-from ..sim import LatencyRecorder, percentile
+from ..sim import LatencyRecorder
 from ..workloads.request import Buckets, Request
 
 __all__ = ["ServiceResult", "ExperimentResult", "energy_summary"]

@@ -7,11 +7,19 @@ from .core import (
     Environment,
     Event,
     Interrupt,
+    KernelProfile,
     Process,
     SimulationError,
     Timeout,
 )
-from .monitor import Counter, LatencyRecorder, TimeWeightedValue, percentile, summarize
+from .monitor import (
+    Counter,
+    LatencyRecorder,
+    SlidingWindow,
+    TimeWeightedValue,
+    percentile,
+    summarize,
+)
 from .resources import PriorityResource, Resource
 from .rng import RandomStreams, Stream
 from .stores import FilterStore, PriorityItem, PriorityStore, Store
@@ -25,6 +33,7 @@ __all__ = [
     "Event",
     "FilterStore",
     "Interrupt",
+    "KernelProfile",
     "LatencyRecorder",
     "PriorityItem",
     "PriorityResource",
@@ -33,6 +42,7 @@ __all__ = [
     "RandomStreams",
     "Resource",
     "SimulationError",
+    "SlidingWindow",
     "Store",
     "Stream",
     "TimeWeightedValue",

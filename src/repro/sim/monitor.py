@@ -7,12 +7,14 @@ the simulator's hot paths.
 from __future__ import annotations
 
 import math
+from collections import deque
 from typing import Dict, List, Optional
 
 __all__ = [
     "Counter",
     "TimeWeightedValue",
     "LatencyRecorder",
+    "SlidingWindow",
     "percentile",
     "summarize",
 ]
@@ -104,9 +106,12 @@ class LatencyRecorder:
             raise ValueError("warmup_fraction must be in [0, 1)")
         self.samples: List[float] = []
         self.warmup_fraction = warmup_fraction
+        #: Sorted view of the effective samples, invalidated on record().
+        self._sorted: Optional[List[float]] = None
 
     def record(self, latency: float) -> None:
         self.samples.append(latency)
+        self._sorted = None
 
     def __len__(self) -> int:
         return len(self.samples)
@@ -114,6 +119,11 @@ class LatencyRecorder:
     def _effective(self) -> List[float]:
         skip = int(len(self.samples) * self.warmup_fraction)
         return self.samples[skip:]
+
+    def _effective_sorted(self) -> List[float]:
+        if self._sorted is None:
+            self._sorted = sorted(self._effective())
+        return self._sorted
 
     @property
     def count(self) -> int:
@@ -126,8 +136,7 @@ class LatencyRecorder:
         return sum(values) / len(values)
 
     def pct(self, p: float) -> float:
-        values = sorted(self._effective())
-        return percentile(values, p)
+        return percentile(self._effective_sorted(), p)
 
     def p50(self) -> float:
         return self.pct(50.0)
@@ -142,7 +151,17 @@ class LatencyRecorder:
         return max(values)
 
     def summary(self) -> Dict[str, float]:
-        return summarize(self._effective())
+        ordered = self._effective_sorted()
+        if not ordered:
+            return {"count": 0}
+        return {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "p50": percentile(ordered, 50.0),
+            "p95": percentile(ordered, 95.0),
+            "p99": percentile(ordered, 99.0),
+            "max": ordered[-1],
+        }
 
 
 def summarize(values: List[float]) -> Dict[str, float]:
@@ -167,12 +186,10 @@ class SlidingWindow:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._items: List[float] = []
+        self._items: deque = deque(maxlen=capacity)
 
     def push(self, value: float) -> None:
         self._items.append(value)
-        if len(self._items) > self.capacity:
-            self._items.pop(0)
 
     def mean(self) -> Optional[float]:
         if not self._items:

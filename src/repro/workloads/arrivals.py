@@ -15,7 +15,7 @@ Three generators cover the paper's load models:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator
 
 from ..sim import Stream
 

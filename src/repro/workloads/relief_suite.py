@@ -15,7 +15,7 @@ below documents the mapping. Speedups are typical for such ASICs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..core.builder import seq
 from ..core.registry import TraceRegistry

@@ -10,11 +10,8 @@ from repro.core import (
     TraceError,
     TraceRegistry,
     atm_link,
-    branch,
-    notify,
     seq,
     standard_trace_set,
-    trans,
 )
 from repro.core.trace import ResolvedStep
 from repro.hw import AcceleratorKind

@@ -1,6 +1,5 @@
 """Tests for trace rendering (ASCII + Graphviz dot)."""
 
-import pytest
 
 from repro.core import standard_trace_set
 from repro.core.render import render_ascii, render_dot

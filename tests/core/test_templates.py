@@ -1,6 +1,5 @@
 """Tests for the paper's trace catalogue T1-T12 (Table II)."""
 
-import pytest
 
 from repro.core import T_ERR, TraceRegistry, standard_trace_set
 from repro.core.templates import (

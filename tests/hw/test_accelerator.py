@@ -1,6 +1,5 @@
 """Unit tests for the accelerator model (queues, dispatcher, PEs)."""
 
-import dataclasses
 
 import pytest
 

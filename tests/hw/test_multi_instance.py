@@ -1,7 +1,6 @@
 """Tests for multi-instance accelerator support (Section IV-A: "one or
 more instances of all the accelerators")."""
 
-import pytest
 
 from repro.hw import AccelOp, AcceleratorKind, MachineParams, QueueEntry, ServerHardware
 from repro.hw.params import AcceleratorParams

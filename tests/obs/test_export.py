@@ -1,0 +1,92 @@
+"""Chrome trace-event export: structure, validity, and determinism."""
+
+import json
+
+from repro.obs import ObsConfig, chrome_trace, write_chrome_trace
+from repro.server import RunConfig, run_experiment
+from repro.workloads import social_network_services
+
+REQUIRED_X_KEYS = {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+
+
+def _traced_run(seed=0, requests=12, sample_rate=1.0):
+    obs = ObsConfig(trace=True, sample_rate=sample_rate)
+    services = [s for s in social_network_services() if s.name == "UniqId"]
+    config = RunConfig(
+        architecture="accelflow",
+        requests_per_service=requests,
+        seed=seed,
+        colocated=True,
+        obs=obs,
+    )
+    run_experiment(services, config)
+    return obs.tracer
+
+
+def test_chrome_trace_structure():
+    payload = chrome_trace(_traced_run())
+    assert isinstance(payload["traceEvents"], list)
+    assert payload["traceEvents"], "no events exported"
+    metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+    spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    instants = [e for e in payload["traceEvents"] if e["ph"] == "i"]
+    assert spans and instants
+    named_tids = {
+        e["tid"]
+        for e in metadata
+        if e["name"] == "thread_name" and "tid" in e
+    }
+    for event in spans:
+        assert REQUIRED_X_KEYS <= set(event)
+        assert event["ts"] >= 0
+        assert event["dur"] >= 0
+        assert event["tid"] in named_tids
+    for event in instants:
+        assert event["s"] == "t"
+        assert event["tid"] in named_tids
+
+
+def test_expected_span_categories_present():
+    tracer = _traced_run()
+    names = {s.name for s in tracer.spans}
+    assert "arrival" in names
+    assert "request UniqId" in names
+    assert "exec" in names
+    assert "output-dispatch" in names
+    assert "notify" in names
+    assert any(n.startswith("dma ") for n in names)
+    tracks = set(tracer.tracks())
+    assert "req:UniqId" in tracks
+    assert "cores" in tracks
+    assert "dma" in tracks
+    assert any(t.startswith("accel:") for t in tracks)
+
+
+def test_trace_export_is_deterministic_for_fixed_seed():
+    first = chrome_trace(_traced_run(seed=3))
+    second = chrome_trace(_traced_run(seed=3))
+    assert first == second
+
+
+def test_trace_differs_across_seeds():
+    first = chrome_trace(_traced_run(seed=0))
+    second = chrome_trace(_traced_run(seed=1))
+    assert first != second
+
+
+def test_sampling_reduces_span_count():
+    full = _traced_run(sample_rate=1.0)
+    half = _traced_run(sample_rate=0.5)
+    assert 0 < len(half.spans) < len(full.spans)
+    # Stride sampling keeps every other request of the service.
+    full_reqs = {s.req for s in full.spans if s.req is not None}
+    half_reqs = {s.req for s in half.spans if s.req is not None}
+    assert len(half_reqs) == len(full_reqs) // 2
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    tracer = _traced_run(requests=4)
+    path = write_chrome_trace(tracer, str(tmp_path / "trace.json"))
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded == chrome_trace(tracer)

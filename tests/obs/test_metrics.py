@@ -1,0 +1,112 @@
+"""Time-series registry: ring buffers, sampler process, rendering."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, TimeSeries
+from repro.sim import Environment
+
+
+class TestTimeSeries:
+    def test_push_and_read(self):
+        series = TimeSeries("x", capacity=4)
+        for i in range(3):
+            series.push(float(i), float(i) * 10)
+        assert series.times == [0.0, 1.0, 2.0]
+        assert series.values == [0.0, 10.0, 20.0]
+        assert series.last() == 20.0
+        assert len(series) == 3
+
+    def test_ring_buffer_evicts_oldest(self):
+        series = TimeSeries("x", capacity=3)
+        for i in range(10):
+            series.push(float(i), float(i))
+        assert series.times == [7.0, 8.0, 9.0]
+
+    def test_empty(self):
+        series = TimeSeries("x", capacity=2)
+        assert series.last() is None
+        with pytest.raises(ValueError):
+            TimeSeries("bad", capacity=0)
+
+
+class TestMetricsRegistry:
+    def test_gauge_sampling(self):
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=10.0, capacity=100)
+        state = {"v": 0.0}
+        registry.gauge("v", lambda: state["v"])
+
+        def mutate(env):
+            yield env.timeout(25.0)
+            state["v"] = 5.0
+            yield env.timeout(25.0)
+
+        registry.start()
+        env.process(mutate(env))
+        env.run(until=50.0)
+        values = registry.series["v"].values
+        assert values[:2] == [0.0, 0.0]
+        assert values[-1] == 5.0
+        assert registry.series["v"].times[0] == 10.0
+
+    def test_rate_gauge_reports_per_second_rate(self):
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=1e9, capacity=10)
+        counter = {"n": 0}
+        registry.rate_gauge("rate", lambda: counter["n"])
+
+        def produce(env):
+            # Increments land strictly between sampler ticks so the
+            # count seen at each tick is unambiguous.
+            for _ in range(4):
+                yield env.timeout(0.4e9)
+                counter["n"] += 3
+
+        registry.start()
+        env.process(produce(env))
+        env.run(until=2.5e9)
+        # 6 completions per 1-second tick.
+        assert registry.series["rate"].values == [6.0, 6.0]
+
+    def test_sampler_terminates_on_bare_run(self):
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=5.0, capacity=7)
+        registry.gauge("x", lambda: 1.0)
+        registry.start()
+        env.run()  # must not hang: sampler exits after `capacity` ticks
+        assert registry.ticks == 7
+        assert env.now == 35.0
+
+    def test_stop_ends_sampler_early(self):
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=5.0, capacity=100)
+        registry.gauge("x", lambda: 1.0)
+        registry.start()
+
+        def stopper(env):
+            yield env.timeout(12.0)
+            registry.stop()
+
+        env.process(stopper(env))
+        env.run()
+        assert registry.ticks <= 3
+
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry(Environment())
+        registry.gauge("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            registry.gauge("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            MetricsRegistry(Environment(), interval_ns=0.0)
+
+    def test_render_shows_all_series(self):
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=1.0, capacity=50)
+        registry.gauge("alpha", lambda: env.now)
+        registry.gauge("beta", lambda: 0.0)
+        registry.start()
+        env.run(until=20.0)
+        text = registry.render(width=10)
+        assert "alpha" in text and "beta" in text
+        assert "min" in text and "max" in text
+        assert "(no samples)" not in text

@@ -1,0 +1,122 @@
+"""Unit tests for the span tracer."""
+
+import pytest
+
+from repro.obs import SpanTracer
+from repro.sim import Environment
+
+
+class FakeSpec:
+    def __init__(self, name):
+        self.name = name
+
+
+class FakeRequest:
+    _next = iter(range(10_000, 20_000))
+
+    def __init__(self, service="svc"):
+        self.rid = next(self._next)
+        self.spec = FakeSpec(service)
+
+
+def test_begin_end_records_duration():
+    env = Environment()
+    tracer = SpanTracer(env)
+    span = tracer.begin("work", "trackA", cat="test")
+
+    def advance(env):
+        yield env.timeout(5.0)
+
+    env.process(advance(env))
+    env.run()
+    tracer.end(span, extra=1)
+    assert span.duration_ns == 5.0
+    assert span.args == {"extra": 1}
+    assert tracer.tracks() == ["trackA"]
+
+
+def test_complete_and_instant():
+    env = Environment()
+    tracer = SpanTracer(env)
+    tracer.complete("x", "t", 10.0, 30.0)
+    marker = tracer.instant("m", "t")
+    assert len(tracer) == 2
+    assert tracer.spans[0].duration_ns == 20.0
+    assert marker.is_instant
+
+
+def test_sample_rate_one_keeps_all():
+    env = Environment()
+    tracer = SpanTracer(env, sample_rate=1.0)
+    taken = [tracer.sample_request(FakeRequest()) for _ in range(10)]
+    assert all(taken)
+
+
+def test_stride_sampling_is_deterministic():
+    env = Environment()
+    tracer = SpanTracer(env, sample_rate=0.25)
+    taken = [tracer.sample_request(FakeRequest()) for _ in range(20)]
+    assert sum(taken) == 5
+    # Same stride pattern regardless of global request-id offsets.
+    tracer2 = SpanTracer(Environment(), sample_rate=0.25)
+    taken2 = [tracer2.sample_request(FakeRequest()) for _ in range(20)]
+    assert taken == taken2
+
+
+def test_zero_rate_samples_nothing():
+    tracer = SpanTracer(Environment(), sample_rate=0.0)
+    assert not any(tracer.sample_request(FakeRequest()) for _ in range(5))
+
+
+def test_service_filter():
+    tracer = SpanTracer(Environment(), services=["keep"])
+    assert tracer.sample_request(FakeRequest("keep"))
+    assert not tracer.sample_request(FakeRequest("drop"))
+
+
+def test_local_ids_are_trace_relative():
+    tracer = SpanTracer(Environment())
+    first, second = FakeRequest(), FakeRequest()
+    tracer.sample_request(first)
+    tracer.sample_request(second)
+    assert tracer.local_id(first.rid) == 0
+    assert tracer.local_id(second.rid) == 1
+    assert tracer.local_id(99999999) is None
+
+
+def test_finish_request_stops_sampling_but_keeps_ids():
+    tracer = SpanTracer(Environment())
+    request = FakeRequest()
+    tracer.sample_request(request)
+    assert tracer.is_sampled(request.rid)
+    tracer.finish_request(request.rid)
+    assert not tracer.is_sampled(request.rid)
+    assert tracer.local_id(request.rid) == 0
+
+
+def test_max_spans_drops_and_counts():
+    tracer = SpanTracer(Environment(), max_spans=2)
+    tracer.complete("a", "t", 0.0, 1.0)
+    tracer.complete("b", "t", 0.0, 1.0)
+    dropped = tracer.complete("c", "t", 0.0, 1.0)
+    assert dropped is None
+    assert len(tracer) == 2
+    assert tracer.dropped == 1
+    tracer.end(dropped)  # ending a dropped span is a no-op
+
+
+def test_spans_for_filters():
+    tracer = SpanTracer(Environment())
+    request = FakeRequest()
+    tracer.sample_request(request)
+    tracer.complete("a", "t1", 0.0, 1.0, rid=request.rid)
+    tracer.complete("b", "t2", 0.0, 1.0)
+    assert [s.name for s in tracer.spans_for(track="t1")] == ["a"]
+    assert [s.name for s in tracer.spans_for(req=0)] == ["a"]
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        SpanTracer(Environment(), sample_rate=1.5)
+    with pytest.raises(ValueError):
+        SpanTracer(Environment(), max_spans=0)

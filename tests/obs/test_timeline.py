@@ -1,0 +1,50 @@
+"""ASCII timeline rendering."""
+
+from repro.obs import SpanTracer, render_timeline
+from repro.sim import Environment
+
+
+def _tracer():
+    tracer = SpanTracer(Environment())
+    tracer.complete("alpha", "cores", 0.0, 500.0)
+    tracer.complete("beta", "cores", 100.0, 400.0)  # overlaps alpha -> lane 2
+    tracer.complete("gamma", "accel:gpc", 500.0, 1000.0)
+    tracer.instant("mark", "accel:gpc")  # lands at env.now == 0
+    return tracer
+
+
+def test_render_basic_layout():
+    text = render_timeline(_tracer(), width=40)
+    lines = text.splitlines()
+    assert lines[0].startswith("timeline 0 .. 1,000 ns")
+    # Track label appears once; the overlap forces a second unlabeled lane.
+    assert sum("cores" in line for line in lines) == 1
+    rows = [line for line in lines[1:] if "|" in line]
+    assert len(rows) >= 3  # two core lanes + one accel lane
+    assert "*" in text  # instant marker
+    assert "alpha" in text and "gamma" in text
+    assert "=" in text
+
+
+def test_req_filter_and_empty():
+    env = Environment()
+    tracer = SpanTracer(env)
+    tracer.complete("only", "t", 0.0, 10.0)
+    assert render_timeline(tracer, req=5) == "(no spans)"
+    assert render_timeline(SpanTracer(env)) == "(no spans)"
+
+
+def test_track_selection_orders_rows():
+    text = render_timeline(_tracer(), width=30, tracks=["accel:gpc", "cores"])
+    lines = [line for line in text.splitlines() if "|" in line]
+    assert lines[0].startswith("accel:gpc")
+    assert any(line.startswith("cores") for line in lines[1:])
+
+
+def test_open_spans_are_excluded():
+    tracer = SpanTracer(Environment())
+    tracer.begin("pending", "t")  # never ended
+    tracer.complete("done", "t", 0.0, 100.0)
+    text = render_timeline(tracer, width=20)
+    assert "pending" not in text
+    assert "done" in text

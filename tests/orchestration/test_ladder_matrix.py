@@ -1,7 +1,6 @@
 """Matrix tests over the Figure 13 ladder rungs: each flag moves the
 right work out of the central manager."""
 
-import pytest
 
 from repro.server import SimulatedServer
 from repro.workloads import social_network_services

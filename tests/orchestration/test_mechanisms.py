@@ -175,8 +175,6 @@ class TestEdfAcrossServices:
     def test_deadline_priority_helps_short_service(self):
         """Under a shared overloaded server, EDF protects the service
         with the tighter deadline."""
-        import dataclasses
-
         short = SERVICES["UniqId"]
         heavy = SERVICES["CPost"]
 

@@ -3,11 +3,7 @@
 import pytest
 
 from repro.hw import AcceleratorKind
-from repro.orchestration import (
-    ARCHITECTURES,
-    LADDER_VARIANTS,
-    make_orchestrator,
-)
+from repro.orchestration import ARCHITECTURES, LADDER_VARIANTS
 from repro.server import Buckets, SimulatedServer
 from repro.workloads import social_network_services
 

@@ -11,7 +11,7 @@ from repro.server import (
     run_experiment,
     run_unloaded,
 )
-from repro.workloads import Request, social_network_services
+from repro.workloads import social_network_services
 
 SERVICES = social_network_services()
 BY_NAME = {s.name: s for s in SERVICES}

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim import Counter, LatencyRecorder, TimeWeightedValue, percentile, summarize
+from repro.sim import (
+    Counter,
+    LatencyRecorder,
+    SlidingWindow,
+    TimeWeightedValue,
+    percentile,
+    summarize,
+)
 
 
 class TestPercentile:
@@ -111,6 +118,79 @@ class TestLatencyRecorder:
         assert set(summary) == {"count", "mean", "p50", "p95", "p99", "max"}
         assert summary["count"] == 100
         assert summary["max"] == 99.0
+
+
+class TestLatencyRecorderSortedCache:
+    def test_cache_invalidated_on_record(self):
+        rec = LatencyRecorder()
+        rec.record(5.0)
+        assert rec.pct(100.0) == 5.0
+        rec.record(9.0)  # must not serve the stale one-element view
+        assert rec.pct(100.0) == 9.0
+        assert rec.pct(0.0) == 5.0
+
+    def test_repeated_pct_reuses_sorted_view(self):
+        rec = LatencyRecorder()
+        for v in [3.0, 1.0, 2.0]:
+            rec.record(v)
+        first = rec._effective_sorted()
+        assert rec._effective_sorted() is first
+        rec.record(0.5)
+        assert rec._effective_sorted() is not first
+
+    def test_warmup_slicing_applies_to_cached_view(self):
+        rec = LatencyRecorder(warmup_fraction=0.25)
+        for v in [100.0, 4.0, 2.0, 3.0]:
+            rec.record(v)
+        # One warmup sample skipped, remainder sorted once.
+        assert rec.pct(0.0) == 2.0
+        assert rec.pct(100.0) == 4.0
+        assert rec.summary()["count"] == 3
+
+    def test_single_element_percentile_bounds(self):
+        rec = LatencyRecorder()
+        rec.record(7.0)
+        assert rec.pct(0.0) == rec.pct(50.0) == rec.pct(100.0) == 7.0
+
+
+class TestSlidingWindow:
+    def test_push_and_mean(self):
+        window = SlidingWindow(capacity=3)
+        for v in [1.0, 2.0, 3.0]:
+            window.push(v)
+        assert window.mean() == 2.0
+        assert len(window) == 3
+
+    def test_capacity_evicts_oldest(self):
+        window = SlidingWindow(capacity=3)
+        for v in [1.0, 2.0, 3.0, 10.0]:
+            window.push(v)
+        assert len(window) == 3
+        assert window.mean() == 5.0  # 2, 3, 10
+
+    def test_empty_mean_is_none(self):
+        assert SlidingWindow(capacity=2).mean() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(capacity=0)
+
+
+class TestTimeWeightedValueReset:
+    def test_reset_keeps_current_value(self):
+        tw = TimeWeightedValue(initial=2.0)
+        tw.set(8.0, now=4.0)
+        tw.reset(now=4.0)
+        assert tw.value == 8.0
+        assert tw.average(8.0) == 8.0
+
+    def test_reset_discards_history(self):
+        tw = TimeWeightedValue(initial=100.0)
+        tw.set(0.0, now=10.0)
+        tw.reset(now=10.0)
+        tw.set(4.0, now=12.0)
+        # Average over [10, 14]: two units at 0, two at 4.
+        assert tw.average(14.0) == 2.0
 
 
 class TestSummarize:

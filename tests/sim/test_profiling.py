@@ -1,0 +1,71 @@
+"""Kernel profiling hooks: event counts, peak queue, attribution."""
+
+from repro.obs import format_profile
+from repro.sim import Environment
+
+
+def _worker(env, delay):
+    yield env.timeout(delay)
+    yield env.timeout(delay)
+
+
+def test_profiling_disabled_by_default():
+    env = Environment()
+    assert env.profile is None
+    env.process(_worker(env, 1.0))
+    env.run()
+    assert env.profile is None  # running never turns it on
+
+
+def test_profile_counts_events_and_peak_queue():
+    env = Environment(profile=True)
+    for i in range(4):
+        env.process(_worker(env, float(i + 1)), name=f"w-{i}")
+    env.run()
+    profile = env.profile
+    # Per process: init + 2 timeouts + the termination event = 4.
+    assert profile.events == 16
+    assert profile.peak_queue >= 3
+    assert profile.wall_s >= 0.0
+
+
+def test_attribution_groups_by_stripped_process_name():
+    env = Environment(profile=True)
+    env.process(_worker(env, 1.0), name="req-17")
+    env.process(_worker(env, 2.0), name="req-203")
+    env.process(_worker(env, 3.0), name="other")
+    env.run()
+    by_process = env.profile.by_process
+    assert by_process["req"]["events"] == 6
+    assert by_process["other"]["events"] == 3
+    assert "req-17" not in by_process
+
+
+def test_group_of_falls_back_to_event_class():
+    env = Environment(profile=True)
+    event = env.timeout(1.0)
+    seen = []
+    event.callbacks.append(seen.append)  # plain function, no Process owner
+    env.run()
+    assert seen
+    assert "Timeout" in env.profile.by_process
+
+
+def test_enable_profiling_is_idempotent():
+    env = Environment()
+    first = env.enable_profiling()
+    env.process(_worker(env, 1.0))
+    env.run()
+    assert env.enable_profiling() is first  # keeps collected data
+    assert first.events > 0
+
+
+def test_format_profile_renders_table():
+    env = Environment(profile=True)
+    env.process(_worker(env, 1.0), name="busy-1")
+    env.run()
+    text = format_profile(env)
+    assert "events processed" in text
+    assert "peak event queue" in text
+    assert "busy" in text
+    assert format_profile(Environment()) == "(kernel profiling disabled)"

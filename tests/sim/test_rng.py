@@ -1,6 +1,5 @@
 """Unit tests for deterministic random streams."""
 
-import math
 
 import pytest
 

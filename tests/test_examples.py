@@ -1,5 +1,6 @@
 """Smoke tests: the fast example scripts run end to end."""
 
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -9,9 +10,9 @@ import pytest
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 
 
-def run_example(name: str, timeout: float = 180.0) -> str:
+def run_example(name: str, *args: str, timeout: float = 180.0) -> str:
     result = subprocess.run(
-        [sys.executable, str(EXAMPLES / name)],
+        [sys.executable, str(EXAMPLES / name), *args],
         capture_output=True,
         text=True,
         timeout=timeout,
@@ -34,10 +35,23 @@ def test_compile_traces_example():
     assert "p99" in out
 
 
+def test_trace_export_example(tmp_path):
+    out_path = tmp_path / "trace.json"
+    out = run_example(
+        "trace_export.py", "--out", str(out_path), "--requests", "10"
+    )
+    assert "Wrote" in out
+    assert "timeline" in out
+    assert "events processed" in out
+    payload = json.loads(out_path.read_text())
+    assert payload["traceEvents"]
+    assert {e["ph"] for e in payload["traceEvents"]} >= {"M", "X", "i"}
+
+
 @pytest.mark.parametrize("name", ["quickstart.py", "compile_traces.py",
                                   "custom_service.py", "serverless_burst.py",
                                   "compare_orchestrators.py",
-                                  "design_space.py"])
+                                  "design_space.py", "trace_export.py"])
 def test_examples_exist_and_have_docstrings(name):
     path = EXAMPLES / name
     assert path.exists()

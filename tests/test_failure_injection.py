@@ -6,7 +6,6 @@ checks that every request still terminates with a sane status and the
 bookkeeping stays consistent.
 """
 
-import pytest
 
 from repro.hw import MachineParams
 from repro.hw.params import AcceleratorParams, TlbParams

@@ -1,14 +1,13 @@
 """System-level property tests: invariants that must hold for any
 workload, architecture and seed."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import TraceRegistry
 from repro.core.encoding import accel_slots
 from repro.server import RunConfig, SimulatedServer, run_experiment
-from repro.workloads import Buckets, social_network_services
+from repro.workloads import social_network_services
 
 SERVICES = social_network_services()
 BY_NAME = {s.name: s for s in SERVICES}

@@ -82,7 +82,7 @@ class TestEnergyMonotonicity:
 
 class TestEncodingLimits:
     def test_oversized_metadata_rejected(self):
-        from repro.core import EncodingError, branch, seq
+        from repro.core import EncodingError
         from repro.core.encoding import encode_trace
 
         # 15 accels + many branches blow the metadata region while

@@ -1,6 +1,5 @@
 """Tests for the Train Ticket suite and the branch-statistics analysis."""
 
-import pytest
 
 from repro.core import TraceRegistry
 from repro.experiments import char_branches
