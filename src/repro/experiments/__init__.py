@@ -22,6 +22,7 @@ from . import (
     table4_paths,
 )
 from .common import LADDER, MAIN_ARCHITECTURES, SCALES, format_table
+from .parallel import ShardedExperiment
 
 #: Experiment id -> callable(scale, seed) returning {..., "table": str}.
 EXPERIMENTS = {
@@ -51,10 +52,56 @@ EXPERIMENTS = {
     "char-events": characterization.run_events,
 }
 
+#: Experiment id -> ShardedExperiment (shard/merge decomposition of the
+#: same computation; worker processes resolve shards through this table).
+SHARDED = {
+    "fig1": fig01_breakdown.SHARDED,
+    "fig3": fig03_orchestration.SHARDED,
+    "fig5": fig05_datasizes.SHARDED,
+    "table1": table1_connectivity.SHARDED,
+    "table2": table2_traces.SHARDED,
+    "table4": table4_paths.SHARDED,
+    "fig11": fig11_latency.SHARDED,
+    "fig12": fig12_loads.SHARDED,
+    "fig13": fig13_ablation.SHARDED,
+    "fig14": fig14_throughput.SHARDED,
+    "fig15": fig15_gem5.SHARDED,
+    "fig16": fig16_serverless.SHARDED,
+    "fig17": fig17_components.SHARDED,
+    "fig18": fig18_chiplets.SHARDED,
+    "fig19": fig19_pes.SHARDED,
+    "fig20": fig20_generations.SHARDED,
+    "sens-interchiplet": sensitivity.SHARDED_INTERCHIPLET,
+    "sens-speedups": sensitivity.SHARDED_SPEEDUPS,
+    "sens-adaptive": sensitivity.SHARDED_ADAPTIVE,
+    "char-branches": char_branches.SHARDED,
+    "char-glue": characterization.SHARDED_GLUE,
+    "char-utilization": characterization.SHARDED_UTILIZATION,
+    "char-energy": characterization.SHARDED_ENERGY,
+    "char-events": characterization.SHARDED_EVENTS,
+}
+
+
+def get_sharded(name: str) -> ShardedExperiment:
+    """Resolve an experiment id to its sharded decomposition.
+
+    Worker processes call this to rebuild the ``run_shard`` callable from
+    a pickled :class:`~repro.experiments.parallel.Shard` spec.
+    """
+    try:
+        return SHARDED[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(sorted(SHARDED))}"
+        ) from None
+
+
 __all__ = [
     "EXPERIMENTS",
     "LADDER",
     "MAIN_ARCHITECTURES",
     "SCALES",
+    "SHARDED",
     "format_table",
+    "get_sharded",
 ]

@@ -23,6 +23,7 @@ from ..workloads import (
 )
 from ..workloads.trainticket import train_ticket_services
 from .common import format_table
+from .parallel import single_shard
 
 __all__ = ["run", "PAPER_CONDITIONAL_SHARE"]
 
@@ -63,7 +64,7 @@ def _suite_stats(registry: TraceRegistry, services: List[ServiceSpec]):
     return share, max_conditionals, chains
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
+def _compute(scale: str = "quick", seed: int = 0) -> Dict:
     registry = TraceRegistry.with_standard_templates()
     rows = []
     shares = {}
@@ -86,3 +87,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         title="Section III Q2: dynamic control flow in accelerator sequences",
     )
     return {"shares": shares, "table": table}
+
+
+SHARDED = single_shard("char-branches", _compute)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

@@ -14,12 +14,19 @@ power/energy and high-overhead events.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..hw import ACCEL_KINDS
-from ..server import RunConfig, energy_summary, run_experiment
+from ..server import (
+    RunConfig,
+    energy_summary,
+    run_dedicated_service,
+    run_experiment,
+)
+from ..sim import derive_seed
 from ..workloads import social_network_services
-from .common import format_table, requests_for
+from .common import format_table, pick_service, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run_glue", "run_utilization", "run_energy", "run_events"]
 
@@ -36,27 +43,46 @@ PAPER_UTILIZATION = {
 }
 
 
-def _alibaba_run(architecture: str, scale: str, seed: int, rate_scale: float = 1.0):
+def _alibaba_cell(
+    shard: Shard, scale: str, rate_scale: float = 1.0
+) -> Dict[str, object]:
+    """One dedicated accelflow (service) cell of the alibaba-driven run."""
+    spec = pick_service(social_network_services(), shard.params["service"])
     config = RunConfig(
-        architecture=architecture,
+        architecture="accelflow",
         requests_per_service=requests_for(scale),
-        seed=seed,
+        seed=shard.seed,
         arrival_mode="alibaba",
         rate_scale=rate_scale,
     )
-    return run_experiment(social_network_services(), config)
+    return run_dedicated_service(spec, config)
 
 
-def run_glue(scale: str = "quick", seed: int = 0) -> Dict:
-    """VII.B.2: glue instructions per output-dispatcher operation."""
-    result = _alibaba_run("accelflow", scale, seed)
-    per_service = result.orchestrator_stats["per_service"]
+def _service_shards(name: str, seed: int) -> List[Shard]:
+    return [
+        Shard(name, (spec.name,), {"service": spec.name},
+              derive_seed(seed, name, spec.name))
+        for spec in social_network_services()
+    ]
+
+
+# -- VII.B.2: glue instructions ------------------------------------------
+
+def _glue_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    return _service_shards("char-glue", seed)
+
+
+def _glue_shard(shard: Shard, scale: str) -> Dict:
+    cell = _alibaba_cell(shard, scale)
+    return cell["orchestrator_stats"]["glue"]
+
+
+def _glue_merge(payloads: Dict, scale: str, seed: int) -> Dict:
     operations = 0
     instructions = 0
     branches = 0
     transforms = 0
-    for stats in per_service.values():
-        glue = stats["glue"]
+    for glue in payloads.values():
         operations += int(glue["operations"])
         instructions += int(glue["total_instructions"])
         branches += int(glue["branches_resolved"])
@@ -81,12 +107,31 @@ def run_glue(scale: str = "quick", seed: int = 0) -> Dict:
     }
 
 
-def run_utilization(scale: str = "quick", seed: int = 0) -> Dict:
-    """VII.B.4: accelerator utilization near peak load."""
+SHARDED_GLUE = ShardedExperiment(
+    "char-glue", _glue_shards, _glue_shard, _glue_merge,
+)
+
+
+def run_glue(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """VII.B.2: glue instructions per output-dispatcher operation."""
+    return SHARDED_GLUE.run(scale=scale, seed=seed, executor=executor)
+
+
+# -- VII.B.4: utilization ------------------------------------------------
+
+def _utilization_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    return _service_shards("char-utilization", seed)
+
+
+def _utilization_shard(shard: Shard, scale: str) -> Dict:
     # Push load toward the saturation knee of the busiest accelerator.
-    result = _alibaba_run("accelflow", scale, seed, rate_scale=3.5)
+    cell = _alibaba_cell(shard, scale, rate_scale=3.5)
+    return cell["utilizations"]
+
+
+def _utilization_merge(payloads: Dict, scale: str, seed: int) -> Dict:
     utilization: Dict[str, float] = {k.value: 0.0 for k in ACCEL_KINDS}
-    for per_service in result.utilizations.values():
+    for per_service in payloads.values():
         for kind, value in per_service.items():
             utilization[kind.value] = max(utilization[kind.value], value)
     rows = [
@@ -105,22 +150,50 @@ def run_utilization(scale: str = "quick", seed: int = 0) -> Dict:
     return {"utilization": utilization, "cmp_lowest": cmp_lowest, "table": table}
 
 
-def run_energy(scale: str = "quick", seed: int = 0) -> Dict:
-    """VII.B.5: energy and performance-per-watt comparison."""
-    config = dict(
+SHARDED_UTILIZATION = ShardedExperiment(
+    "char-utilization", _utilization_shards, _utilization_shard,
+    _utilization_merge,
+)
+
+
+def run_utilization(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """VII.B.4: accelerator utilization near peak load."""
+    return SHARDED_UTILIZATION.run(scale=scale, seed=seed, executor=executor)
+
+
+# -- VII.B.5: energy -----------------------------------------------------
+
+_ENERGY_ARCHES = ("non-acc", "relief", "accelflow")
+
+
+def _energy_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    # Colocated runs (all services share one server) cannot split
+    # further; one shard per architecture, sharing a derived seed.
+    return [
+        Shard("char-energy", (arch,), {"architecture": arch},
+              derive_seed(seed, "char-energy"))
+        for arch in _ENERGY_ARCHES
+    ]
+
+
+def _energy_shard(shard: Shard, scale: str):
+    config = RunConfig(
+        architecture=shard.params["architecture"],
         requests_per_service=requests_for(scale),
-        seed=seed,
+        seed=shard.seed,
         arrival_mode="alibaba",
         colocated=True,
         rate_scale=0.25,  # colocated: keep the shared server feasible
     )
+    return run_experiment(social_network_services(), config)
+
+
+def _energy_merge(payloads: Dict, scale: str, seed: int) -> Dict:
     summaries = {}
     per_request_j = {}
     perf_per_watt = {}
-    for arch in ("non-acc", "relief", "accelflow"):
-        result = run_experiment(
-            social_network_services(), RunConfig(architecture=arch, **config)
-        )
+    for arch in _ENERGY_ARCHES:
+        result = payloads[(arch,)]
         energy = energy_summary(result)
         summaries[arch] = energy
         per_request_j[arch] = energy["total_j"] / max(1, result.total_completed())
@@ -152,17 +225,40 @@ def run_energy(scale: str = "quick", seed: int = 0) -> Dict:
     }
 
 
-def run_events(scale: str = "quick", seed: int = 0) -> Dict:
-    """VII.B.6: frequency of high-overhead events."""
-    result = _alibaba_run("accelflow", scale, seed)
-    per_service_hw = result.hardware_stats["per_service"]
-    per_service_orch = result.orchestrator_stats["per_service"]
+SHARDED_ENERGY = ShardedExperiment(
+    "char-energy", _energy_shards, _energy_shard, _energy_merge,
+)
+
+
+def run_energy(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """VII.B.5: energy and performance-per-watt comparison."""
+    return SHARDED_ENERGY.run(scale=scale, seed=seed, executor=executor)
+
+
+# -- VII.B.6: high-overhead events ---------------------------------------
+
+def _events_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    return _service_shards("char-events", seed)
+
+
+def _events_shard(shard: Shard, scale: str) -> Dict:
+    cell = _alibaba_cell(shard, scale)
+    return {
+        "hardware": cell["hardware_stats"],
+        "orchestrator": cell["orchestrator_stats"],
+        "completed": cell["service"].completed,
+    }
+
+
+def _events_merge(payloads: Dict, scale: str, seed: int) -> Dict:
     total_ops = 0
     overflow = 0
     rejected = 0
     tlb_accesses = tlb_misses = page_faults = 0.0
     timeouts = 0
-    for hw in per_service_hw.values():
+    completed = 0
+    for cell in payloads.values():
+        hw = cell["hardware"]
         for accel_stats in hw["accelerators"].values():
             total_ops += int(accel_stats["ops_completed"])
             overflow += int(accel_stats["overflow_admissions"])
@@ -171,9 +267,8 @@ def run_events(scale: str = "quick", seed: int = 0) -> Dict:
         tlb_accesses += tlb["accesses"]
         tlb_misses += tlb["misses"]
         page_faults += tlb["page_faults"]
-    for orch in per_service_orch.values():
-        timeouts += int(orch["tcp_timeouts"])
-    completed = result.total_completed()
+        timeouts += int(cell["orchestrator"]["tcp_timeouts"])
+        completed += cell["completed"]
     rows = [
         ["overflow admissions / invocation",
          f"{overflow / max(1, total_ops) * 100:.2f}%", "1.4% (peak 5.9%)"],
@@ -200,3 +295,13 @@ def run_events(scale: str = "quick", seed: int = 0) -> Dict:
         "tcp_timeouts": timeouts,
         "table": table,
     }
+
+
+SHARDED_EVENTS = ShardedExperiment(
+    "char-events", _events_shards, _events_shard, _events_merge,
+)
+
+
+def run_events(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """VII.B.6: frequency of high-overhead events."""
+    return SHARDED_EVENTS.run(scale=scale, seed=seed, executor=executor)

@@ -19,6 +19,7 @@ __all__ = [
     "requests_for",
     "format_table",
     "pct_reduction",
+    "pick_service",
     "MAIN_ARCHITECTURES",
     "LADDER",
 ]
@@ -56,7 +57,23 @@ def format_table(
     lines.append("  ".join("-" * w for w in widths))
     for row in str_rows:
         lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
+    # rstrip: padding the last column with trailing spaces breaks naive
+    # snapshot diffs (editors strip them from committed golden files).
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def pick_service(services: Sequence, name: str):
+    """The :class:`~repro.workloads.spec.ServiceSpec` called ``name``.
+
+    Shard workers ship service *names* (small and picklable) and
+    re-resolve the spec on their side of the process boundary.
+    """
+    for spec in services:
+        if spec.name == name:
+            return spec
+    raise KeyError(
+        f"unknown service {name!r}; known: {[s.name for s in services]}"
+    )
 
 
 def _cell(value: object) -> str:

@@ -9,26 +9,42 @@ only (Non-acc) run whose CPU time must match the configured totals.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..server import run_unloaded
+from ..sim import derive_seed
 from ..workloads import TaxCategory, social_network_services
-from .common import format_table
+from .common import format_table, pick_service
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run"]
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
+def make_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    return [
+        Shard("fig1", (spec.name,), {"service": spec.name},
+              derive_seed(seed, "fig1", spec.name))
+        for spec in social_network_services()
+    ]
+
+
+def run_shard(shard: Shard, scale: str) -> float:
+    """Measured software-only mean latency (us) for one service."""
+    spec = pick_service(social_network_services(), shard.params["service"])
+    measured = run_unloaded("non-acc", spec, requests=10, seed=shard.seed)
+    return measured.mean_ns() / 1000.0
+
+
+def merge(payloads: Dict, scale: str, seed: int) -> Dict:
     services = social_network_services()
     rows = []
     data = {}
     for spec in services:
         fractions = {c: spec.fractions[c] for c in TaxCategory.ALL}
-        measured = run_unloaded("non-acc", spec, requests=10, seed=seed)
         data[spec.name] = {
             "total_us": spec.total_time_ns / 1000.0,
             "fractions": fractions,
-            "measured_mean_us": measured.mean_ns() / 1000.0,
+            "measured_mean_us": payloads[(spec.name,)],
         }
         rows.append(
             [
@@ -62,3 +78,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         title="Fig 1: Execution-time breakdown of SocialNetwork services",
     )
     return {"services": data, "averages": averages, "table": table}
+
+
+SHARDED = ShardedExperiment("fig1", make_shards, run_shard, merge)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

@@ -13,8 +13,10 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..server import RunConfig, run_experiment
+from ..sim import derive_seed
 from ..workloads import social_network_services
 from .common import format_table, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run", "APPROACHES", "LOADS_KRPS"]
 
@@ -22,21 +24,35 @@ APPROACHES = ["cpu-centric", "relief", "direct"]
 LOADS_KRPS = [2.5, 5.0, 10.0, 15.0]
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
-    requests = requests_for(scale)
-    services = social_network_services()
-    data: Dict[str, Dict[float, float]] = {arch: {} for arch in APPROACHES}
-    for arch in APPROACHES:
-        for load in LOADS_KRPS:
-            config = RunConfig(
-                architecture=arch,
-                requests_per_service=requests,
-                seed=seed,
-                arrival_mode="poisson",
-                rate_rps=load * 1000.0,
-            )
-            result = run_experiment(services, config)
-            data[arch][load] = result.orchestration_fraction()
+def make_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    # All approaches at one load share a derived seed: common random
+    # numbers keep the cross-approach comparison tight.
+    return [
+        Shard("fig3", (arch, load), {"architecture": arch, "load_krps": load},
+              derive_seed(seed, "fig3", load))
+        for arch in APPROACHES
+        for load in LOADS_KRPS
+    ]
+
+
+def run_shard(shard: Shard, scale: str) -> float:
+    """Orchestration fraction for one (approach, load) cell."""
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="poisson",
+        rate_rps=shard.params["load_krps"] * 1000.0,
+    )
+    result = run_experiment(social_network_services(), config)
+    return result.orchestration_fraction()
+
+
+def merge(payloads: Dict, scale: str, seed: int) -> Dict:
+    data: Dict[str, Dict[float, float]] = {
+        arch: {load: payloads[(arch, load)] for load in LOADS_KRPS}
+        for arch in APPROACHES
+    }
     rows: List[List[object]] = []
     label = {"cpu-centric": "CPU-Centric", "relief": "HW-Manager", "direct": "Direct"}
     for arch in APPROACHES:
@@ -50,3 +66,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         title="Fig 3: Orchestration overhead fraction vs load",
     )
     return {"fractions": data, "loads_krps": LOADS_KRPS, "table": table}
+
+
+SHARDED = ShardedExperiment("fig3", make_shards, run_shard, merge)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

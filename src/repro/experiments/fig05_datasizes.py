@@ -14,13 +14,14 @@ from ..hw import ACCEL_KINDS, AcceleratorKind
 from ..sim import RandomStreams, percentile
 from ..workloads import PayloadModel, social_network_services
 from .common import format_table
+from .parallel import single_shard
 
 __all__ = ["run"]
 
 _SAMPLES_PER_SERVICE = 2000
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
+def _compute(scale: str = "quick", seed: int = 0) -> Dict:
     streams = RandomStreams(seed)
     services = social_network_services()
     sizes: Dict[AcceleratorKind, Dict[str, list]] = {
@@ -75,3 +76,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         title="Fig 5: Input/output data sizes per accelerator",
     )
     return {"sizes": stats, "table": table}
+
+
+SHARDED = single_shard("fig5", _compute)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

@@ -10,11 +10,13 @@ reductions 90.7% / 81.2% / 68.8% / 70.1% (P99) and 77.2% / 53.9% /
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
-from ..server import RunConfig, run_experiment
+from ..server import RunConfig, combine_dedicated, run_dedicated_service
+from ..sim import derive_seed
 from ..workloads import social_network_services
-from .common import MAIN_ARCHITECTURES, format_table, pct_reduction, requests_for
+from .common import MAIN_ARCHITECTURES, format_table, pct_reduction, pick_service, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run", "PAPER_P99_REDUCTIONS", "PAPER_MEAN_REDUCTIONS"]
 
@@ -32,19 +34,40 @@ PAPER_MEAN_REDUCTIONS = {
 }
 
 
-def run(scale: str = "quick", seed: int = 0, architectures=None) -> Dict:
-    requests = requests_for(scale)
-    services = social_network_services()
+def make_shards(scale: str = "quick", seed: int = 0, architectures=None) -> List[Shard]:
     architectures = architectures or MAIN_ARCHITECTURES
-    results = {}
-    for arch in architectures:
-        config = RunConfig(
-            architecture=arch,
-            requests_per_service=requests,
-            seed=seed,
-            arrival_mode="alibaba",
+    # Architectures measuring the same service share a derived seed
+    # (common random numbers across the comparison axis).
+    return [
+        Shard("fig11", (arch, spec.name),
+              {"architecture": arch, "service": spec.name},
+              derive_seed(seed, "fig11", spec.name))
+        for arch in architectures
+        for spec in social_network_services()
+    ]
+
+
+def run_shard(shard: Shard, scale: str) -> Dict:
+    """One dedicated-mode (architecture, service) measurement cell."""
+    spec = pick_service(social_network_services(), shard.params["service"])
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="alibaba",
+    )
+    return run_dedicated_service(spec, config)
+
+
+def merge(payloads: Dict, scale: str, seed: int, architectures=None) -> Dict:
+    architectures = architectures or MAIN_ARCHITECTURES
+    services = social_network_services()
+    results = {
+        arch: combine_dedicated(
+            arch, {spec.name: payloads[(arch, spec.name)] for spec in services}
         )
-        results[arch] = run_experiment(services, config)
+        for arch in architectures
+    }
 
     rows = []
     for spec in services:
@@ -104,3 +127,13 @@ def run(scale: str = "quick", seed: int = 0, architectures=None) -> Dict:
         "reductions": reductions,
         "table": table,
     }
+
+
+SHARDED = ShardedExperiment("fig11", make_shards, run_shard, merge)
+
+
+def run(scale: str = "quick", seed: int = 0, architectures=None, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(
+        scale=scale, seed=seed, executor=executor, architectures=architectures
+    )

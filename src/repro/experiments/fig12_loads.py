@@ -8,45 +8,72 @@ reduction over RELIEF: 55.1% / 60.9% / 68.3% at 5/10/15K RPS).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..server import RunConfig, run_experiment
+from ..sim import derive_seed
 from ..workloads import (
     hotel_reservation_services,
     media_services,
     social_network_services,
 )
 from .common import MAIN_ARCHITECTURES, format_table, pct_reduction, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run", "LOADS_RPS"]
 
 LOADS_RPS = [5000.0, 10000.0, 15000.0]
 
 
-def run(
+def _services(include_extra_suites: bool):
+    services = social_network_services()
+    if include_extra_suites:
+        services = services + hotel_reservation_services() + media_services()
+    return services
+
+
+def make_shards(
     scale: str = "quick",
     seed: int = 0,
     include_extra_suites: bool = True,
     architectures=None,
-) -> Dict:
-    requests = requests_for(scale)
-    services = social_network_services()
-    if include_extra_suites:
-        services = services + hotel_reservation_services() + media_services()
+) -> List[Shard]:
     architectures = architectures or MAIN_ARCHITECTURES
+    return [
+        Shard("fig12", (arch, load),
+              {"architecture": arch, "load_rps": load,
+               "extra_suites": include_extra_suites},
+              derive_seed(seed, "fig12", load))
+        for arch in architectures
+        for load in LOADS_RPS
+    ]
 
-    data: Dict[str, Dict[float, float]] = {arch: {} for arch in architectures}
-    for arch in architectures:
-        for load in LOADS_RPS:
-            config = RunConfig(
-                architecture=arch,
-                requests_per_service=requests,
-                seed=seed,
-                arrival_mode="poisson",
-                rate_rps=load,
-            )
-            result = run_experiment(services, config)
-            data[arch][load] = result.mean_p99_ns()
+
+def run_shard(shard: Shard, scale: str) -> float:
+    """Mean P99 (ns) for one (architecture, load) cell."""
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="poisson",
+        rate_rps=shard.params["load_rps"],
+    )
+    result = run_experiment(_services(shard.params["extra_suites"]), config)
+    return result.mean_p99_ns()
+
+
+def merge(
+    payloads: Dict,
+    scale: str,
+    seed: int,
+    include_extra_suites: bool = True,
+    architectures=None,
+) -> Dict:
+    architectures = architectures or MAIN_ARCHITECTURES
+    data: Dict[str, Dict[float, float]] = {
+        arch: {load: payloads[(arch, load)] for load in LOADS_RPS}
+        for arch in architectures
+    }
 
     rows = []
     for arch in architectures:
@@ -74,3 +101,23 @@ def run(
             f"{load / 1000:g}K={gain:.1f}%" for load, gain in gains_vs_relief.items()
         ) + "  (paper: 5K=55.1%, 10K=60.9%, 15K=68.3%)"
     return {"p99_ns": data, "gains_vs_relief": gains_vs_relief, "table": table}
+
+
+SHARDED = ShardedExperiment("fig12", make_shards, run_shard, merge)
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    include_extra_suites: bool = True,
+    architectures=None,
+    executor=None,
+) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(
+        scale=scale,
+        seed=seed,
+        executor=executor,
+        include_extra_suites=include_extra_suites,
+        architectures=architectures,
+    )

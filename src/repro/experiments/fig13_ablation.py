@@ -10,11 +10,13 @@ tail-latency reductions: 6.8% / 32.7% / 55.1% / 68.7%.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..server import RunConfig, run_experiment
+from ..sim import derive_seed
 from ..workloads import social_network_services
 from .common import LADDER, format_table, pct_reduction, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run", "PAPER_CUMULATIVE_REDUCTIONS"]
 
@@ -26,23 +28,39 @@ PAPER_CUMULATIVE_REDUCTIONS = {
 }
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
-    requests = requests_for(scale)
+def make_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    # Every rung replays the identical workload (one shared derived
+    # seed): the ladder is a controlled experiment on the architecture.
+    return [
+        Shard("fig13", (arch,), {"architecture": arch},
+              derive_seed(seed, "fig13"))
+        for arch in LADDER
+    ]
+
+
+def run_shard(shard: Shard, scale: str) -> Dict:
+    """Mean and per-service P99 (ns) for one ladder rung."""
     services = social_network_services()
-    p99: Dict[str, float] = {}
-    per_service: Dict[str, Dict[str, float]] = {}
-    for arch in LADDER:
-        config = RunConfig(
-            architecture=arch,
-            requests_per_service=requests,
-            seed=seed,
-            arrival_mode="alibaba",
-        )
-        result = run_experiment(services, config)
-        p99[arch] = result.mean_p99_ns()
-        per_service[arch] = {
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="alibaba",
+    )
+    result = run_experiment(services, config)
+    return {
+        "mean_p99_ns": result.mean_p99_ns(),
+        "per_service_p99_ns": {
             spec.name: result.p99_ns(spec.name) for spec in services
-        }
+        },
+    }
+
+
+def merge(payloads: Dict, scale: str, seed: int) -> Dict:
+    p99 = {arch: payloads[(arch,)]["mean_p99_ns"] for arch in LADDER}
+    per_service = {
+        arch: payloads[(arch,)]["per_service_p99_ns"] for arch in LADDER
+    }
 
     baseline = p99[LADDER[0]]
     rows = []
@@ -69,3 +87,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         "reductions": reductions,
         "table": table,
     }
+
+
+SHARDED = ShardedExperiment("fig13", make_shards, run_shard, merge)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

@@ -13,8 +13,10 @@ from typing import Dict, List, Optional
 
 from ..hw import QueuePolicy
 from ..server import max_throughput_search, run_unloaded
+from ..sim import derive_seed
 from ..workloads import social_network_services
-from .common import format_table, requests_for
+from .common import format_table, pick_service, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run"]
 
@@ -26,6 +28,17 @@ QUICK_SERVICES = ["UniqId", "StoreP", "CUrls"]
 #: latency-critical service colocated with heavy ones, so that deadline
 #: priority actually has something to reorder.
 EDF_MIX = ["UniqId", "CPost", "StoreP"]
+
+
+def _iterations(scale: str) -> int:
+    return {"smoke": 3, "quick": 5, "full": 7}.get(scale, 5)
+
+
+def _fig14_services(scale: str):
+    services = social_network_services()
+    if scale != "full":
+        services = [s for s in services if s.name in QUICK_SERVICES]
+    return services
 
 
 def _edf_mixed_gain(scale: str, seed: int, iterations: int) -> float:
@@ -81,39 +94,67 @@ def _edf_mixed_gain(scale: str, seed: int, iterations: int) -> float:
     return edf / fifo if fifo > 0 else 1.0
 
 
-def run(
+def make_shards(
     scale: str = "quick",
     seed: int = 0,
     architectures: Optional[List[str]] = None,
     include_edf: bool = True,
-) -> Dict:
-    requests = requests_for(scale)
+) -> List[Shard]:
     architectures = architectures or DEFAULT_ARCHITECTURES
-    services = social_network_services()
-    if scale != "full":
-        services = [s for s in services if s.name in QUICK_SERVICES]
+    shards = [
+        Shard("fig14", (arch, spec.name),
+              {"architecture": arch, "service": spec.name},
+              derive_seed(seed, "fig14", spec.name))
+        for arch in architectures
+        for spec in _fig14_services(scale)
+    ]
+    if include_edf and "accelflow" in architectures:
+        shards.append(
+            Shard("fig14", ("edf",), {"edf": True},
+                  derive_seed(seed, "fig14", "edf"))
+        )
+    return shards
 
-    iterations = {"smoke": 3, "quick": 5, "full": 7}.get(scale, 5)
+
+def run_shard(shard: Shard, scale: str):
+    """One SLO-bounded throughput search (or the EDF colocation study)."""
+    iterations = _iterations(scale)
+    if shard.params.get("edf"):
+        return _edf_mixed_gain(scale, shard.seed, iterations)
+    requests = requests_for(scale)
+    arch = shard.params["architecture"]
+    spec = pick_service(social_network_services(), shard.params["service"])
+    unloaded = run_unloaded(arch, spec, requests=12, seed=shard.seed).mean_ns()
+    slo_ns = 5.0 * unloaded
+    throughput = max_throughput_search(
+        arch,
+        spec,
+        slo_ns=slo_ns,
+        requests=max(120, requests // 2),
+        seed=shard.seed,
+        iterations=iterations,
+        probe_cap=max(400, requests * 2),
+    )
+    return {"slo_ns": slo_ns, "throughput_rps": throughput}
+
+
+def merge(
+    payloads: Dict,
+    scale: str,
+    seed: int,
+    architectures: Optional[List[str]] = None,
+    include_edf: bool = True,
+) -> Dict:
+    architectures = architectures or DEFAULT_ARCHITECTURES
+    services = _fig14_services(scale)
     throughput: Dict[str, Dict[str, float]] = {a: {} for a in architectures}
     slo: Dict[str, Dict[str, float]] = {a: {} for a in architectures}
     for arch in architectures:
         for spec in services:
-            unloaded = run_unloaded(arch, spec, requests=12, seed=seed).mean_ns()
-            slo_ns = 5.0 * unloaded
-            slo[arch][spec.name] = slo_ns
-            throughput[arch][spec.name] = max_throughput_search(
-                arch,
-                spec,
-                slo_ns=slo_ns,
-                requests=max(120, requests // 2),
-                seed=seed,
-                iterations=iterations,
-                probe_cap=max(400, requests * 2),
-            )
-
-    edf_gain = None
-    if include_edf and "accelflow" in architectures:
-        edf_gain = _edf_mixed_gain(scale, seed, iterations)
+            cell = payloads[(arch, spec.name)]
+            slo[arch][spec.name] = cell["slo_ns"]
+            throughput[arch][spec.name] = cell["throughput_rps"]
+    edf_gain = payloads.get(("edf",))
 
     rows = []
     for spec in services:
@@ -154,3 +195,23 @@ def run(
         "edf_gain": edf_gain,
         "table": table,
     }
+
+
+SHARDED = ShardedExperiment("fig14", make_shards, run_shard, merge)
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    architectures: Optional[List[str]] = None,
+    include_edf: bool = True,
+    executor=None,
+) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(
+        scale=scale,
+        seed=seed,
+        executor=executor,
+        architectures=architectures,
+        include_edf=include_edf,
+    )

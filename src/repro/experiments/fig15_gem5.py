@@ -13,48 +13,71 @@ Figure 14.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..server import max_throughput_search, run_unloaded
+from ..sim import derive_seed
 from ..workloads import (
     coarse_machine_params,
     relief_suite_registry,
     relief_suite_services,
 )
-from .common import format_table, requests_for
+from .common import format_table, pick_service, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run"]
 
 ARCHITECTURES = ["relief", "accelflow"]
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
+def _apps(scale: str):
+    apps = relief_suite_services()
+    if scale == "smoke":
+        apps = apps[:4]
+    return apps
+
+
+def make_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    return [
+        Shard("fig15", (arch, spec.name),
+              {"architecture": arch, "app": spec.name},
+              derive_seed(seed, "fig15", spec.name))
+        for arch in ARCHITECTURES
+        for spec in _apps(scale)
+    ]
+
+
+def run_shard(shard: Shard, scale: str) -> float:
+    """SLO-bounded max throughput (RPS) for one (arch, app) cell."""
     requests = max(100, requests_for(scale) // 2)
     iterations = {"smoke": 4, "quick": 5, "full": 7}.get(scale, 5)
     registry = relief_suite_registry()
     params = coarse_machine_params()
-    apps = relief_suite_services()
-    if scale == "smoke":
-        apps = apps[:4]
+    arch = shard.params["architecture"]
+    spec = pick_service(relief_suite_services(), shard.params["app"])
+    unloaded = run_unloaded(
+        arch, spec, requests=10, seed=shard.seed,
+        machine_params=params, registry=registry,
+    ).mean_ns()
+    return max_throughput_search(
+        arch,
+        spec,
+        slo_ns=5.0 * unloaded,
+        requests=requests,
+        seed=shard.seed,
+        iterations=iterations,
+        machine_params=params,
+        registry=registry,
+        probe_cap=max(400, requests * 2),
+    )
 
-    throughput: Dict[str, Dict[str, float]] = {a: {} for a in ARCHITECTURES}
-    for arch in ARCHITECTURES:
-        for spec in apps:
-            unloaded = run_unloaded(
-                arch, spec, requests=10, seed=seed,
-                machine_params=params, registry=registry,
-            ).mean_ns()
-            throughput[arch][spec.name] = max_throughput_search(
-                arch,
-                spec,
-                slo_ns=5.0 * unloaded,
-                requests=requests,
-                seed=seed,
-                iterations=iterations,
-                machine_params=params,
-                registry=registry,
-                probe_cap=max(400, requests * 2),
-            )
+
+def merge(payloads: Dict, scale: str, seed: int) -> Dict:
+    apps = _apps(scale)
+    throughput: Dict[str, Dict[str, float]] = {
+        arch: {spec.name: payloads[(arch, spec.name)] for spec in apps}
+        for arch in ARCHITECTURES
+    }
 
     rows = []
     speedups = {}
@@ -79,3 +102,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         "mean_speedup": mean_speedup,
         "table": table,
     }
+
+
+SHARDED = ShardedExperiment("fig15", make_shards, run_shard, merge)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

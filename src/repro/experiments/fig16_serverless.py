@@ -8,30 +8,44 @@ RELIEF on average — the largest wins on short functions like ImgRot.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..server import RunConfig, run_experiment
+from ..sim import derive_seed
 from ..workloads import serverless_functions
 from .common import format_table, pct_reduction, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run", "ARCHITECTURES"]
 
 ARCHITECTURES = ["non-acc", "relief", "accelflow"]
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
-    requests = requests_for(scale)
+def make_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    # Colocated runs cannot split per function (they share one server);
+    # one shard per architecture, all replaying the same arrivals.
+    return [
+        Shard("fig16", (arch,), {"architecture": arch},
+              derive_seed(seed, "fig16"))
+        for arch in ARCHITECTURES
+    ]
+
+
+def run_shard(shard: Shard, scale: str):
+    """One colocated serverless run; the full result ships back."""
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="azure",
+        colocated=True,
+    )
+    return run_experiment(serverless_functions(), config)
+
+
+def merge(payloads: Dict, scale: str, seed: int) -> Dict:
     functions = serverless_functions()
-    results = {}
-    for arch in ARCHITECTURES:
-        config = RunConfig(
-            architecture=arch,
-            requests_per_service=requests,
-            seed=seed,
-            arrival_mode="azure",
-            colocated=True,
-        )
-        results[arch] = run_experiment(functions, config)
+    results = {arch: payloads[(arch,)] for arch in ARCHITECTURES}
 
     rows = []
     for spec in functions:
@@ -54,3 +68,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         f"\n\nAccelFlow P99 reduction over RELIEF: {reduction:.1f}% (paper: 37%)"
     )
     return {"results": results, "reduction_vs_relief": reduction, "table": table}
+
+
+SHARDED = ShardedExperiment("fig16", make_shards, run_shard, merge)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

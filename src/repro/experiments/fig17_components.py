@@ -9,11 +9,13 @@ accelerator time dominates and orchestration averages only 2.2% (vs
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..server import run_unloaded
+from ..sim import derive_seed
 from ..workloads import Buckets, social_network_services
-from .common import format_table
+from .common import format_table, pick_service
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run"]
 
@@ -26,14 +28,35 @@ _FIG17_BUCKETS = (
 )
 
 
-def run(scale: str = "quick", seed: int = 0, architecture: str = "accelflow") -> Dict:
+def make_shards(
+    scale: str = "quick", seed: int = 0, architecture: str = "accelflow"
+) -> List[Shard]:
+    return [
+        Shard("fig17", (spec.name,),
+              {"service": spec.name, "architecture": architecture},
+              derive_seed(seed, "fig17", spec.name))
+        for spec in social_network_services()
+    ]
+
+
+def run_shard(shard: Shard, scale: str) -> Dict:
+    """Component sums of one unloaded per-service run."""
+    spec = pick_service(social_network_services(), shard.params["service"])
+    result = run_unloaded(
+        shard.params["architecture"], spec, requests=15, seed=shard.seed
+    )
+    return dict(result.component_sums)
+
+
+def merge(
+    payloads: Dict, scale: str, seed: int, architecture: str = "accelflow"
+) -> Dict:
     services = social_network_services()
     rows = []
     data = {}
     orchestration_fractions = []
     for spec in services:
-        result = run_unloaded(architecture, spec, requests=15, seed=seed)
-        sums = result.component_sums
+        sums = payloads[(spec.name,)]
         on_server = sum(sums[b] for b in _FIG17_BUCKETS)
         fractions = {
             b: (sums[b] / on_server if on_server > 0 else 0.0)
@@ -70,3 +93,18 @@ def run(scale: str = "quick", seed: int = 0, architecture: str = "accelflow") ->
         "mean_orchestration_fraction": mean_orchestration,
         "table": table,
     }
+
+
+SHARDED = ShardedExperiment("fig17", make_shards, run_shard, merge)
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    architecture: str = "accelflow",
+    executor=None,
+) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(
+        scale=scale, seed=seed, executor=executor, architecture=architecture
+    )

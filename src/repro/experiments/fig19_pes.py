@@ -8,36 +8,55 @@ requests with 2 PEs).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..hw import MachineParams
 from ..server import RunConfig, run_experiment
+from ..sim import derive_seed
 from ..workloads import social_network_services
 from .common import format_table, pct_reduction, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run", "PE_COUNTS"]
 
 PE_COUNTS = [2, 4, 8]
 
 
-def run(scale: str = "quick", seed: int = 0, architecture: str = "accelflow") -> Dict:
-    requests = requests_for(scale)
-    services = social_network_services()
-    p99: Dict[int, float] = {}
-    fallback_fraction: Dict[int, float] = {}
-    for pes in PE_COUNTS:
-        config = RunConfig(
-            architecture=architecture,
-            requests_per_service=requests,
-            seed=seed,
-            arrival_mode="alibaba",
-            machine_params=MachineParams().with_pes(pes),
-        )
-        result = run_experiment(services, config)
-        p99[pes] = result.mean_p99_ns()
-        total = result.total_completed()
-        fell_back = sum(s.fallback_requests for s in result.services.values())
-        fallback_fraction[pes] = fell_back / total if total else 0.0
+def make_shards(
+    scale: str = "quick", seed: int = 0, architecture: str = "accelflow"
+) -> List[Shard]:
+    return [
+        Shard("fig19", (pes,), {"pes": pes, "architecture": architecture},
+              derive_seed(seed, "fig19"))
+        for pes in PE_COUNTS
+    ]
+
+
+def run_shard(shard: Shard, scale: str) -> Dict:
+    """Mean P99 and fallback fraction for one PE provisioning."""
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="alibaba",
+        machine_params=MachineParams().with_pes(shard.params["pes"]),
+    )
+    result = run_experiment(social_network_services(), config)
+    total = result.total_completed()
+    fell_back = sum(s.fallback_requests for s in result.services.values())
+    return {
+        "mean_p99_ns": result.mean_p99_ns(),
+        "fallback_fraction": fell_back / total if total else 0.0,
+    }
+
+
+def merge(
+    payloads: Dict, scale: str, seed: int, architecture: str = "accelflow"
+) -> Dict:
+    p99 = {pes: payloads[(pes,)]["mean_p99_ns"] for pes in PE_COUNTS}
+    fallback_fraction = {
+        pes: payloads[(pes,)]["fallback_fraction"] for pes in PE_COUNTS
+    }
 
     rows = [
         [
@@ -61,3 +80,18 @@ def run(scale: str = "quick", seed: int = 0, architecture: str = "accelflow") ->
         "increase_2_pct": -pct_reduction(p99[8], p99[2]),
         "table": table,
     }
+
+
+SHARDED = ShardedExperiment("fig19", make_shards, run_shard, merge)
+
+
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    architecture: str = "accelflow",
+    executor=None,
+) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(
+        scale=scale, seed=seed, executor=executor, architecture=architecture
+    )

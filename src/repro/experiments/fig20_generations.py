@@ -9,12 +9,14 @@ from 68.8% (Ice Lake) to 71.7% (Emerald Rapids).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..hw import MachineParams
 from ..server import RunConfig, run_experiment
+from ..sim import derive_seed
 from ..workloads import social_network_services
 from .common import format_table, pct_reduction, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run", "GENERATIONS", "ARCHITECTURES"]
 
@@ -22,22 +24,37 @@ GENERATIONS = ["haswell", "skylake", "icelake", "sapphire-rapids", "emerald-rapi
 ARCHITECTURES = ["non-acc", "relief", "accelflow"]
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
-    requests = requests_for(scale)
-    services = social_network_services()
-    p99: Dict[str, Dict[str, float]] = {arch: {} for arch in ARCHITECTURES}
-    for generation in GENERATIONS:
-        params = MachineParams().with_generation(generation)
-        for arch in ARCHITECTURES:
-            config = RunConfig(
-                architecture=arch,
-                requests_per_service=requests,
-                seed=seed,
-                arrival_mode="alibaba",
-                machine_params=params,
-            )
-            result = run_experiment(services, config)
-            p99[arch][generation] = result.mean_p99_ns()
+def make_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    # One derived seed for the whole grid: every (generation, arch)
+    # cell replays the same workload.
+    return [
+        Shard("fig20", (generation, arch),
+              {"generation": generation, "architecture": arch},
+              derive_seed(seed, "fig20"))
+        for generation in GENERATIONS
+        for arch in ARCHITECTURES
+    ]
+
+
+def run_shard(shard: Shard, scale: str) -> float:
+    """Mean P99 (ns) for one (generation, architecture) cell."""
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="alibaba",
+        machine_params=MachineParams().with_generation(
+            shard.params["generation"]
+        ),
+    )
+    return run_experiment(social_network_services(), config).mean_p99_ns()
+
+
+def merge(payloads: Dict, scale: str, seed: int) -> Dict:
+    p99: Dict[str, Dict[str, float]] = {
+        arch: {gen: payloads[(gen, arch)] for gen in GENERATIONS}
+        for arch in ARCHITECTURES
+    }
 
     rows = []
     for arch in ARCHITECTURES:
@@ -59,3 +76,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
               "(paper: reduction grows 68.8% -> 71.7%)",
     )
     return {"p99_ns": p99, "reductions_vs_relief": reductions, "table": table}
+
+
+SHARDED = ShardedExperiment("fig20", make_shards, run_shard, merge)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

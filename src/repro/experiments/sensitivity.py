@@ -11,12 +11,14 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from ..hw import MachineParams
 from ..server import RunConfig, run_experiment
+from ..sim import derive_seed
 from ..workloads import social_network_services
 from .common import format_table, pct_reduction, requests_for
+from .parallel import Shard, ShardedExperiment
 
 __all__ = ["run_interchiplet", "run_speedups", "run_adaptive",
            "INTER_CHIPLET_CYCLES", "SPEEDUP_SCALES", "ADAPTIVE_SCALES"]
@@ -25,26 +27,42 @@ INTER_CHIPLET_CYCLES = [20.0, 60.0, 100.0]
 SPEEDUP_SCALES = [0.25, 0.5, 1.0, 2.0, 4.0]
 
 
-def run_interchiplet(scale: str = "quick", seed: int = 0) -> Dict:
-    requests = requests_for(scale)
-    services = social_network_services()
-    p99: Dict[int, Dict[float, float]] = {}
-    for chiplets in (2, 6):
-        p99[chiplets] = {}
-        for cycles in INTER_CHIPLET_CYCLES:
-            params = (
-                MachineParams()
-                .with_layout(chiplets)
-                .with_inter_chiplet_cycles(cycles)
-            )
-            config = RunConfig(
-                architecture="accelflow",
-                requests_per_service=requests,
-                seed=seed,
-                arrival_mode="alibaba",
-                machine_params=params,
-            )
-            p99[chiplets][cycles] = run_experiment(services, config).mean_p99_ns()
+# -- VII.C.2: inter-chiplet latency --------------------------------------
+
+def _interchiplet_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    return [
+        Shard("sens-interchiplet", (chiplets, cycles),
+              {"chiplets": chiplets, "cycles": cycles},
+              derive_seed(seed, "sens-interchiplet"))
+        for chiplets in (2, 6)
+        for cycles in INTER_CHIPLET_CYCLES
+    ]
+
+
+def _interchiplet_shard(shard: Shard, scale: str) -> float:
+    params = (
+        MachineParams()
+        .with_layout(shard.params["chiplets"])
+        .with_inter_chiplet_cycles(shard.params["cycles"])
+    )
+    config = RunConfig(
+        architecture="accelflow",
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="alibaba",
+        machine_params=params,
+    )
+    return run_experiment(social_network_services(), config).mean_p99_ns()
+
+
+def _interchiplet_merge(payloads: Dict, scale: str, seed: int) -> Dict:
+    p99: Dict[int, Dict[float, float]] = {
+        chiplets: {
+            cycles: payloads[(chiplets, cycles)]
+            for cycles in INTER_CHIPLET_CYCLES
+        }
+        for chiplets in (2, 6)
+    }
     rows = []
     for chiplets in (2, 6):
         rows.append(
@@ -63,26 +81,47 @@ def run_interchiplet(scale: str = "quick", seed: int = 0) -> Dict:
     return {"p99_ns": p99, "increase_6c_60_to_100_pct": increase, "table": table}
 
 
-def run_speedups(scale: str = "quick", seed: int = 0) -> Dict:
-    requests = requests_for(scale)
-    services = social_network_services()
-    gains: Dict[float, float] = {}
-    p99: Dict[float, Dict[str, float]] = {}
-    for speedup_scale in SPEEDUP_SCALES:
-        params = MachineParams().with_speedup_scale(speedup_scale)
-        p99[speedup_scale] = {}
-        for arch in ("relief", "accelflow"):
-            config = RunConfig(
-                architecture=arch,
-                requests_per_service=requests,
-                seed=seed,
-                arrival_mode="alibaba",
-                machine_params=params,
-            )
-            p99[speedup_scale][arch] = run_experiment(services, config).mean_p99_ns()
-        gains[speedup_scale] = (
-            p99[speedup_scale]["relief"] / p99[speedup_scale]["accelflow"]
-        )
+SHARDED_INTERCHIPLET = ShardedExperiment(
+    "sens-interchiplet", _interchiplet_shards, _interchiplet_shard,
+    _interchiplet_merge,
+)
+
+
+def run_interchiplet(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED_INTERCHIPLET.run(scale=scale, seed=seed, executor=executor)
+
+
+# -- VII.C.5: accelerator speedups ---------------------------------------
+
+def _speedups_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    return [
+        Shard("sens-speedups", (speedup_scale, arch),
+              {"speedup_scale": speedup_scale, "architecture": arch},
+              derive_seed(seed, "sens-speedups"))
+        for speedup_scale in SPEEDUP_SCALES
+        for arch in ("relief", "accelflow")
+    ]
+
+
+def _speedups_shard(shard: Shard, scale: str) -> float:
+    params = MachineParams().with_speedup_scale(shard.params["speedup_scale"])
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="alibaba",
+        machine_params=params,
+    )
+    return run_experiment(social_network_services(), config).mean_p99_ns()
+
+
+def _speedups_merge(payloads: Dict, scale: str, seed: int) -> Dict:
+    p99: Dict[float, Dict[str, float]] = {
+        s: {arch: payloads[(s, arch)] for arch in ("relief", "accelflow")}
+        for s in SPEEDUP_SCALES
+    }
+    gains = {s: p99[s]["relief"] / p99[s]["accelflow"] for s in SPEEDUP_SCALES}
     rows = [
         [f"{s:g}x", p99[s]["relief"] / 1000.0, p99[s]["accelflow"] / 1000.0,
          f"{gains[s]:.2f}x"]
@@ -97,39 +136,64 @@ def run_speedups(scale: str = "quick", seed: int = 0) -> Dict:
     return {"p99_ns": p99, "gains": gains, "table": table}
 
 
+SHARDED_SPEEDUPS = ShardedExperiment(
+    "sens-speedups", _speedups_shards, _speedups_shard, _speedups_merge,
+)
+
+
+def run_speedups(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED_SPEEDUPS.run(scale=scale, seed=seed, executor=executor)
+
+
+# -- Section IX: load-adaptive offload -----------------------------------
+
 ADAPTIVE_SCALES = [1.0, 4.0, 7.0]
 
+_ADAPTIVE_ARCHES = ("accelflow", "accelflow-adaptive")
+_ADAPTIVE_SERVICES = ("UniqId", "StoreP")
 
-def run_adaptive(scale: str = "quick", seed: int = 0) -> Dict:
-    """Future work (Section IX): load-adaptive offload decisions.
 
-    Compares stock AccelFlow against the adaptive variant that bypasses
-    congested accelerators to software, across load multipliers. The
-    expected shape: identical at light load (no bypasses), adaptive
-    ahead once accelerator queues build.
-    """
-    requests = requests_for(scale)
-    services = [
-        s for s in social_network_services() if s.name in ("UniqId", "StoreP")
+def _adaptive_shards(scale: str = "quick", seed: int = 0) -> List[Shard]:
+    return [
+        Shard("sens-adaptive", (rate_scale, arch),
+              {"rate_scale": rate_scale, "architecture": arch},
+              derive_seed(seed, "sens-adaptive", rate_scale))
+        for rate_scale in ADAPTIVE_SCALES
+        for arch in _ADAPTIVE_ARCHES
     ]
-    p99: Dict[str, Dict[float, float]] = {"accelflow": {}, "accelflow-adaptive": {}}
+
+
+def _adaptive_shard(shard: Shard, scale: str) -> Dict:
+    services = [
+        s for s in social_network_services() if s.name in _ADAPTIVE_SERVICES
+    ]
+    config = RunConfig(
+        architecture=shard.params["architecture"],
+        requests_per_service=requests_for(scale),
+        seed=shard.seed,
+        arrival_mode="poisson",
+        rate_scale=shard.params["rate_scale"],
+    )
+    result = run_experiment(services, config)
+    payload = {"mean_p99_ns": result.mean_p99_ns(), "bypass_fraction": None}
+    if shard.params["architecture"] == "accelflow-adaptive":
+        stats = result.orchestrator_stats["per_service"]
+        payload["bypass_fraction"] = sum(
+            s["bypass_fraction"] for s in stats.values()
+        ) / len(stats)
+    return payload
+
+
+def _adaptive_merge(payloads: Dict, scale: str, seed: int) -> Dict:
+    p99: Dict[str, Dict[float, float]] = {arch: {} for arch in _ADAPTIVE_ARCHES}
     bypass: Dict[float, float] = {}
     for rate_scale in ADAPTIVE_SCALES:
-        for arch in p99:
-            config = RunConfig(
-                architecture=arch,
-                requests_per_service=requests,
-                seed=seed,
-                arrival_mode="poisson",
-                rate_scale=rate_scale,
-            )
-            result = run_experiment(services, config)
-            p99[arch][rate_scale] = result.mean_p99_ns()
+        for arch in _ADAPTIVE_ARCHES:
+            cell = payloads[(rate_scale, arch)]
+            p99[arch][rate_scale] = cell["mean_p99_ns"]
             if arch == "accelflow-adaptive":
-                stats = result.orchestrator_stats["per_service"]
-                bypass[rate_scale] = sum(
-                    s["bypass_fraction"] for s in stats.values()
-                ) / len(stats)
+                bypass[rate_scale] = cell["bypass_fraction"]
     rows = []
     for rate_scale in ADAPTIVE_SCALES:
         rows.append(
@@ -146,3 +210,19 @@ def run_adaptive(scale: str = "quick", seed: int = 0) -> Dict:
         title="Section IX future work: load-adaptive software bypass",
     )
     return {"p99_ns": p99, "bypass_fraction": bypass, "table": table}
+
+
+SHARDED_ADAPTIVE = ShardedExperiment(
+    "sens-adaptive", _adaptive_shards, _adaptive_shard, _adaptive_merge,
+)
+
+
+def run_adaptive(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Future work (Section IX): load-adaptive offload decisions.
+
+    Compares stock AccelFlow against the adaptive variant that bypasses
+    congested accelerators to software, across load multipliers. The
+    expected shape: identical at light load (no bypasses), adaptive
+    ahead once accelerator queues build.
+    """
+    return SHARDED_ADAPTIVE.run(scale=scale, seed=seed, executor=executor)

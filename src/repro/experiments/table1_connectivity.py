@@ -14,6 +14,7 @@ from typing import Dict, Set
 from ..core import TraceRegistry
 from ..hw import ACCEL_KINDS, AcceleratorKind
 from .common import format_table
+from .parallel import single_shard
 
 __all__ = ["run", "connectivity"]
 
@@ -47,7 +48,7 @@ def connectivity(registry: TraceRegistry = None) -> Dict[str, Dict[str, Set[str]
     }
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
+def _compute(scale: str = "quick", seed: int = 0) -> Dict:
     table_data = connectivity()
     rows = []
     for name, entry in table_data.items():
@@ -64,3 +65,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         title="Table I: source/destination accelerators",
     )
     return {"connectivity": table_data, "table": table}
+
+
+SHARDED = single_shard("table1", _compute)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

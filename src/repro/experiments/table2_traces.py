@@ -13,11 +13,12 @@ from ..core import TraceRegistry, fits
 from ..core.encoding import accel_slots
 from ..core.templates import TEMPLATE_DESCRIPTIONS
 from .common import format_table
+from .parallel import single_shard
 
 __all__ = ["run"]
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
+def _compute(scale: str = "quick", seed: int = 0) -> Dict:
     registry = TraceRegistry.with_standard_templates()
     registry.validate_closed()
     rows = []
@@ -51,3 +52,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         title="Table II: trace catalogue",
     )
     return {"traces": data, "table": table}
+
+
+SHARDED = single_shard("table2", _compute)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

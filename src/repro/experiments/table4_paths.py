@@ -21,6 +21,7 @@ from ..workloads import (
     total_accelerators,
 )
 from .common import format_table
+from .parallel import single_shard
 
 __all__ = ["run", "PAPER_COUNTS", "path_string"]
 
@@ -64,7 +65,7 @@ def path_string(registry: TraceRegistry, spec: ServiceSpec) -> str:
     return "-".join(parts)
 
 
-def run(scale: str = "quick", seed: int = 0) -> Dict:
+def _compute(scale: str = "quick", seed: int = 0) -> Dict:
     registry = TraceRegistry.with_standard_templates()
     rows = []
     data = {}
@@ -84,3 +85,11 @@ def run(scale: str = "quick", seed: int = 0) -> Dict:
         title="Table IV: execution paths and accelerator counts",
     )
     return {"services": data, "table": table}
+
+
+SHARDED = single_shard("table4", _compute)
+
+
+def run(scale: str = "quick", seed: int = 0, executor=None) -> Dict:
+    """Classic entry point; delegates to the sharded executor path."""
+    return SHARDED.run(scale=scale, seed=seed, executor=executor)

@@ -12,7 +12,31 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["MetricsRegistry", "TimeSeries"]
+__all__ = ["MetricsRegistry", "TimeSeries", "sparkline_row"]
+
+
+def sparkline_row(
+    name: str,
+    values: List[float],
+    width: int = 60,
+    label_width: Optional[int] = None,
+) -> str:
+    """One ``label |spark| min/last/max`` row, as used by
+    :meth:`MetricsRegistry.render` and the experiment runner's progress
+    report."""
+    # Imported here: the analysis package pulls in the experiment
+    # harness, which imports the server layer, which imports obs.
+    from ..analysis.ascii_chart import sparkline
+
+    label = name.ljust(label_width or len(name))
+    if not values:
+        return f"{label} (no samples)"
+    spark = sparkline(values, width=width)
+    return (
+        f"{label} |{spark}| "
+        f"min {min(values):,.1f}  last {values[-1]:,.1f}  "
+        f"max {max(values):,.1f}"
+    )
 
 
 class TimeSeries:
@@ -113,25 +137,14 @@ class MetricsRegistry:
     # -- rendering ---------------------------------------------------------
     def render(self, width: int = 60, names: Optional[List[str]] = None) -> str:
         """Sparkline block: one row per series with min/last/max."""
-        # Imported here: the analysis package pulls in the experiment
-        # harness, which imports the server layer, which imports obs.
-        from ..analysis.ascii_chart import sparkline
-
         chosen = names if names is not None else sorted(self.series)
         if not chosen:
             return "(no metrics)"
         label_width = max(len(n) for n in chosen)
-        lines = []
-        for name in chosen:
-            series = self.series[name]
-            values = series.values
-            if not values:
-                lines.append(f"{name.ljust(label_width)} (no samples)")
-                continue
-            spark = sparkline(values, width=width)
-            lines.append(
-                f"{name.ljust(label_width)} |{spark}| "
-                f"min {min(values):,.1f}  last {values[-1]:,.1f}  "
-                f"max {max(values):,.1f}"
+        return "\n".join(
+            sparkline_row(
+                name, self.series[name].values, width=width,
+                label_width=label_width,
             )
-        return "\n".join(lines)
+            for name in chosen
+        )

@@ -2,7 +2,9 @@
 
 from .driver import (
     RunConfig,
+    combine_dedicated,
     max_throughput_search,
+    run_dedicated_service,
     run_experiment,
     run_unloaded,
     saturation_throughput,
@@ -18,8 +20,10 @@ __all__ = [
     "RunConfig",
     "ServiceResult",
     "SimulatedServer",
+    "combine_dedicated",
     "energy_summary",
     "max_throughput_search",
+    "run_dedicated_service",
     "run_experiment",
     "saturation_throughput",
     "run_unloaded",

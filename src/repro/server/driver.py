@@ -33,7 +33,14 @@ from ..workloads.spec import ServiceSpec
 from .machine import SimulatedServer
 from .metrics import ExperimentResult, ServiceResult
 
-__all__ = ["RunConfig", "run_experiment", "run_unloaded", "max_throughput_search"]
+__all__ = [
+    "RunConfig",
+    "run_experiment",
+    "run_dedicated_service",
+    "combine_dedicated",
+    "run_unloaded",
+    "max_throughput_search",
+]
 
 _SECOND_NS = 1e9
 
@@ -159,6 +166,54 @@ def _run_on_server(
     return results
 
 
+def run_dedicated_service(
+    spec: ServiceSpec, config: RunConfig, seed_offset: int = 0
+) -> Dict[str, object]:
+    """Measure one service on its own server (one dedicated-mode cell).
+
+    Returns a plain picklable dict so parallel experiment shards can
+    ship it across process boundaries; :func:`combine_dedicated` folds
+    any number of such cells back into an :class:`ExperimentResult`.
+    """
+    server = _make_server(config, seed_offset=seed_offset)
+    per_service = _run_on_server(server, [spec], config)
+    return {
+        "service": per_service[spec.name],
+        "elapsed_ns": server.env.now,
+        "hardware_stats": server.hardware.stats(),
+        "orchestrator_stats": server.orchestrator.stats(),
+        "utilizations": server.hardware.accelerator_utilizations(),
+        "offered_rps": (config.rate_rps or spec.rate_rps) * config.rate_scale,
+    }
+
+
+def combine_dedicated(
+    architecture: str, cells: Dict[str, Dict[str, object]]
+) -> ExperimentResult:
+    """Merge per-service dedicated cells (service name -> cell dict)."""
+    return ExperimentResult(
+        architecture=architecture,
+        services={name: cell["service"] for name, cell in cells.items()},
+        elapsed_ns=max((cell["elapsed_ns"] for cell in cells.values()), default=0.0),
+        hardware_stats={
+            "per_service": {
+                name: cell["hardware_stats"] for name, cell in cells.items()
+            }
+        },
+        orchestrator_stats={
+            "per_service": {
+                name: cell["orchestrator_stats"] for name, cell in cells.items()
+            }
+        },
+        utilizations={
+            name: cell["utilizations"] for name, cell in cells.items()
+        },
+        offered_rps={
+            name: cell["offered_rps"] for name, cell in cells.items()
+        },
+    )
+
+
 def run_experiment(
     services: List[ServiceSpec], config: RunConfig
 ) -> ExperimentResult:
@@ -168,32 +223,11 @@ def run_experiment(
         per_service = _run_on_server(server, services, config)
         return _finish(server, per_service, config, services)
 
-    merged: Dict[str, ServiceResult] = {}
-    elapsed = 0.0
-    hardware_stats: Dict[str, object] = {}
-    orch_stats: Dict[str, object] = {}
-    utilizations: Dict = {}
-    for index, spec in enumerate(services):
-        server = _make_server(config, seed_offset=index)
-        merged.update(_run_on_server(server, [spec], config))
-        elapsed = max(elapsed, server.env.now)
-        last_server = server
-        hardware_stats[spec.name] = server.hardware.stats()
-        orch_stats[spec.name] = server.orchestrator.stats()
-        utilizations[spec.name] = server.hardware.accelerator_utilizations()
-    result = ExperimentResult(
-        architecture=config.architecture,
-        services=merged,
-        elapsed_ns=elapsed,
-        hardware_stats={"per_service": hardware_stats},
-        orchestrator_stats={"per_service": orch_stats},
-        utilizations=utilizations,
-        offered_rps={
-            spec.name: (config.rate_rps or spec.rate_rps) * config.rate_scale
-            for spec in services
-        },
-    )
-    return result
+    cells = {
+        spec.name: run_dedicated_service(spec, config, seed_offset=index)
+        for index, spec in enumerate(services)
+    }
+    return combine_dedicated(config.architecture, cells)
 
 
 def _finish(

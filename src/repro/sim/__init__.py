@@ -21,7 +21,7 @@ from .monitor import (
     summarize,
 )
 from .resources import PriorityResource, Resource
-from .rng import RandomStreams, Stream
+from .rng import RandomStreams, Stream, derive_seed
 from .stores import FilterStore, PriorityItem, PriorityStore, Store
 
 __all__ = [
@@ -47,6 +47,7 @@ __all__ = [
     "Stream",
     "TimeWeightedValue",
     "Timeout",
+    "derive_seed",
     "percentile",
     "summarize",
 ]

@@ -13,7 +13,23 @@ import math
 import random
 from typing import Dict, Sequence
 
-__all__ = ["RandomStreams", "Stream"]
+__all__ = ["RandomStreams", "Stream", "derive_seed"]
+
+
+def derive_seed(seed: int, *labels: object) -> int:
+    """Derive an independent 64-bit sub-seed from ``seed`` and labels.
+
+    The derivation is a stable hash, so it is reproducible across
+    processes and Python versions (unlike built-in ``hash``), and two
+    different label tuples virtually never collide. Used both for the
+    named streams of :class:`RandomStreams` and for per-shard seeds in
+    the parallel experiment runner, so that results depend only on the
+    (experiment, design point) identity — never on worker count or
+    scheduling order.
+    """
+    text = "/".join(str(part) for part in (seed, *labels))
+    digest = hashlib.sha256(text.encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class Stream:
@@ -93,9 +109,7 @@ class RandomStreams:
         existing = self._streams.get(name)
         if existing is not None:
             return existing
-        digest = hashlib.sha256(f"{self.seed}/{name}".encode()).digest()
-        sub_seed = int.from_bytes(digest[:8], "big")
-        stream = Stream(sub_seed, name)
+        stream = Stream(derive_seed(self.seed, name), name)
         self._streams[name] = stream
         return stream
 

@@ -1,0 +1,102 @@
+"""The ``accelflow-repro`` command line: flags, exit codes, caching."""
+
+import re
+
+import pytest
+
+from repro.experiments.cache import DEFAULT_CACHE_DIR
+from repro.experiments.runner import build_parser, main
+
+
+class TestFlagParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig11"])
+        assert args.scale == "quick"
+        assert args.seed == 0
+        assert args.jobs is None  # resolved to cpu count at runtime
+        assert not args.no_cache
+        assert not args.refresh
+        assert args.cache_dir == DEFAULT_CACHE_DIR
+
+    def test_jobs_and_cache_flags(self):
+        args = build_parser().parse_args(
+            ["all", "--jobs", "4", "--no-cache", "--refresh",
+             "--cache-dir", "/tmp/elsewhere", "--quiet"]
+        )
+        assert args.jobs == 4
+        assert args.no_cache
+        assert args.refresh
+        assert args.cache_dir == "/tmp/elsewhere"
+        assert args.quiet
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig11", "--scale", "galactic"])
+
+
+class TestExitCodes:
+    def test_unknown_experiment_is_2(self, capsys):
+        assert main(["warp-figure", "--no-cache"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_list_is_0(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "fig11" in out and "table4" in out and "char-energy" in out
+
+    def test_bad_scale_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["table4", "--scale", "galactic"])
+
+
+def _cache_counts(stdout):
+    match = re.search(
+        r"\[cache hits=(\d+) misses=(\d+) writes=(\d+) errors=(\d+)", stdout
+    )
+    assert match, f"no cache summary in: {stdout!r}"
+    return tuple(int(group) for group in match.groups())
+
+
+class TestCachedRuns:
+    def test_second_run_is_served_from_cache(self, tmp_path, capsys):
+        argv = ["fig1", "--scale", "smoke", "--quiet",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        hits, misses, writes, errors = _cache_counts(capsys.readouterr().out)
+        assert hits == 0 and misses == writes > 0 and errors == 0
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        hits, misses, writes, errors = _cache_counts(second)
+        assert hits > 0 and misses == writes == errors == 0
+        assert "Fig 1" in second  # the table itself still prints
+
+    def test_cached_table_is_identical(self, tmp_path, capsys):
+        argv = ["table2", "--scale", "smoke", "--quiet", "--jobs", "1",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+
+        def table_only(out):
+            return "\n".join(
+                line for line in out.splitlines()
+                if not line.startswith("[") and "completed in" not in line
+            )
+
+        assert table_only(first) == table_only(second)
+
+    def test_no_cache_suppresses_summary(self, capsys):
+        assert main(["table4", "--scale", "smoke", "--quiet",
+                     "--no-cache"]) == 0
+        assert "[cache " not in capsys.readouterr().out
+
+    def test_refresh_recomputes(self, tmp_path, capsys):
+        argv = ["table4", "--scale", "smoke", "--quiet",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--refresh"]) == 0
+        hits, misses, writes, _ = _cache_counts(capsys.readouterr().out)
+        assert hits == 0 and misses == writes > 0
