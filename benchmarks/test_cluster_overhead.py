@@ -1,0 +1,74 @@
+"""The cluster wrapper must stay thin around a single server.
+
+Acceptance gate for the cluster subsystem: a one-machine round-robin
+cluster adds only a per-request lifecycle generator and a trivial
+balancer pick on top of the underlying server simulation, so its
+median runtime must stay close to driving the same server directly.
+Run explicitly with ``pytest benchmarks/test_cluster_overhead.py -s``.
+"""
+
+import statistics
+import time
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.server import RunConfig, run_experiment
+from repro.workloads import social_network_services
+
+ROUNDS = 7
+REQUESTS = 150
+RATE_RPS = 20000.0
+# The lifecycle shim costs a few percent; the wide margin absorbs
+# single-machine timing noise so the gate cannot flake.
+MAX_SLOWDOWN = 1.5
+
+
+def _services():
+    return [s for s in social_network_services() if s.name == "UniqId"]
+
+
+def _median_server_runtime():
+    durations = []
+    for round_index in range(ROUNDS):
+        config = RunConfig(
+            architecture="accelflow",
+            requests_per_service=REQUESTS,
+            seed=round_index,
+            arrival_mode="poisson",
+            rate_rps=RATE_RPS,
+        )
+        start = time.perf_counter()
+        run_experiment(_services(), config)
+        durations.append(time.perf_counter() - start)
+    return statistics.median(durations)
+
+
+def _median_cluster_runtime():
+    durations = []
+    for round_index in range(ROUNDS):
+        config = ClusterConfig(
+            architecture="accelflow",
+            policy="round-robin",
+            machines=1,
+            requests_per_service=REQUESTS,
+            seed=round_index,
+            arrival_mode="poisson",
+            rate_rps=RATE_RPS,
+        )
+        start = time.perf_counter()
+        run_cluster(_services(), config)
+        durations.append(time.perf_counter() - start)
+    return statistics.median(durations)
+
+
+def test_single_machine_cluster_overhead():
+    baseline = _median_server_runtime()
+    cluster = _median_cluster_runtime()
+    ratio = cluster / baseline
+    print(
+        f"\ncluster overhead: server {baseline * 1e3:.1f} ms, "
+        f"1-machine cluster {cluster * 1e3:.1f} ms, ratio {ratio:.3f}"
+    )
+    assert ratio < MAX_SLOWDOWN, (
+        f"one-machine cluster run is {ratio:.2f}x the direct server run "
+        f"(allowed {MAX_SLOWDOWN}x); the front-door shim has grown a hot path"
+    )

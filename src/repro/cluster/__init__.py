@@ -1,0 +1,51 @@
+"""Fleet-scale simulation: many servers behind a load balancer.
+
+The paper evaluates AccelFlow on one 36-core server; this package
+models the datacenter context that motivates it — a fleet of such
+servers sharing one event calendar, fronted by pluggable balancing
+policies (including an accelerator-occupancy-aware one in the spirit of
+the paper's LdB-backed dispatchers), a reactive autoscaler driven by
+the MMPP load signal, SLO-aware admission control, and machine-failure
+injection with rerouting. See ``docs/tutorial.md`` ("Cluster
+simulation") and the ``fig_cluster`` experiment.
+"""
+
+from .admission import AdmissionConfig, AdmissionController, AdmissionDecision
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .balancer import (
+    BALANCER_POLICIES,
+    POLICY_ORDER,
+    AcceleratorAwareBalancer,
+    LeastOutstandingBalancer,
+    LoadBalancer,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from .cluster import MachineFailure, RequestStatus, SimulatedCluster
+from .driver import ClusterConfig, ClusterResult, run_cluster
+from .machine import ClusterMachine, MachineState
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "Autoscaler",
+    "AutoscalerConfig",
+    "BALANCER_POLICIES",
+    "POLICY_ORDER",
+    "AcceleratorAwareBalancer",
+    "ClusterConfig",
+    "ClusterMachine",
+    "ClusterResult",
+    "LeastOutstandingBalancer",
+    "LoadBalancer",
+    "MachineFailure",
+    "MachineState",
+    "PowerOfTwoBalancer",
+    "RequestStatus",
+    "RoundRobinBalancer",
+    "SimulatedCluster",
+    "make_balancer",
+    "run_cluster",
+]

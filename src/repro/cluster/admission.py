@@ -1,0 +1,126 @@
+"""SLO-aware admission control at the cluster front door.
+
+The controller keeps a sliding window of recently observed end-to-end
+latencies and predicts the cluster's P99 from it. While the prediction
+exceeds the SLO target the cluster is in *overload* and each arriving
+request is either shed (rejected immediately, protecting the latency of
+admitted traffic) or degraded (served with a truncated payload — the
+brown-out pattern: a lighter response instead of no response).
+
+The prediction is intentionally simple — the empirical P99 of the last
+``window`` completions — which is exactly what production shed loops do
+(measure, compare against the objective, gate). It reacts within one
+window of an MMPP burst and recovers as soon as the tail drains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..sim import percentile
+from ..workloads.request import Request
+
+__all__ = ["AdmissionConfig", "AdmissionController", "AdmissionDecision"]
+
+
+class AdmissionDecision:
+    """What to do with an arriving request."""
+
+    ADMIT = "admit"
+    SHED = "shed"
+    DEGRADE = "degrade"
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Admission-control parameters."""
+
+    #: The P99 objective; predictions above it trigger the action.
+    slo_ns: float
+    #: ``"shed"`` rejects, ``"degrade"`` truncates the payload.
+    mode: str = AdmissionDecision.SHED
+    #: Number of recent completions the prediction looks at.
+    window: int = 256
+    #: Predictions need at least this many samples (cold start admits).
+    min_samples: int = 20
+    #: Payload multiplier in degrade mode.
+    degrade_factor: float = 0.5
+    #: Degraded payloads never shrink below this wire size.
+    degrade_floor_bytes: int = 64
+
+    def __post_init__(self):
+        if self.slo_ns <= 0:
+            raise ValueError(f"slo_ns must be positive, got {self.slo_ns}")
+        if self.mode not in (AdmissionDecision.SHED, AdmissionDecision.DEGRADE):
+            raise ValueError(f"unknown admission mode {self.mode!r}")
+        if self.window <= 0 or self.min_samples <= 0:
+            raise ValueError("window and min_samples must be positive")
+        if not 0.0 < self.degrade_factor <= 1.0:
+            raise ValueError("degrade_factor must be in (0, 1]")
+
+
+class AdmissionController:
+    """Gates arrivals on the predicted P99 versus the SLO target."""
+
+    def __init__(self, config: AdmissionConfig):
+        self.config = config
+        self._window: deque = deque(maxlen=config.window)
+        self.admitted = 0
+        self.shed = 0
+        self.degraded = 0
+
+    # -- prediction --------------------------------------------------------
+    def predicted_p99_ns(self) -> Optional[float]:
+        """Empirical P99 of the recent window (None while cold)."""
+        if len(self._window) < self.config.min_samples:
+            return None
+        return percentile(sorted(self._window), 99.0)
+
+    @property
+    def overloaded(self) -> bool:
+        predicted = self.predicted_p99_ns()
+        return predicted is not None and predicted > self.config.slo_ns
+
+    # -- the gate ----------------------------------------------------------
+    def decide(self, request: Request) -> str:
+        """Admit, shed or degrade one arriving request (and count it)."""
+        if not self.overloaded:
+            self.admitted += 1
+            return AdmissionDecision.ADMIT
+        if self.config.mode == AdmissionDecision.SHED:
+            self.shed += 1
+            return AdmissionDecision.SHED
+        self.degraded += 1
+        self.apply_degrade(request)
+        return AdmissionDecision.DEGRADE
+
+    def apply_degrade(self, request: Request) -> None:
+        """Serve a lighter response: truncate the request payload."""
+        request.wire_size = max(
+            self.config.degrade_floor_bytes,
+            int(request.wire_size * self.config.degrade_factor),
+        )
+
+    def observe(self, latency_ns: float) -> None:
+        """Feed one completed request's latency into the window."""
+        self._window.append(latency_ns)
+
+    # -- reporting ---------------------------------------------------------
+    @property
+    def shed_rate(self) -> float:
+        total = self.admitted + self.shed + self.degraded
+        return self.shed / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        predicted = self.predicted_p99_ns()
+        return {
+            "slo_ns": self.config.slo_ns,
+            "mode": self.config.mode,
+            "admitted": float(self.admitted),
+            "shed": float(self.shed),
+            "degraded": float(self.degraded),
+            "shed_rate": self.shed_rate,
+            "predicted_p99_ns": predicted if predicted is not None else 0.0,
+        }

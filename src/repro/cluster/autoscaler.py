@@ -1,0 +1,109 @@
+"""Reactive autoscaling from the observed (MMPP) load signal.
+
+A control-loop process samples the cluster's arrival counter every
+``interval_ns`` of simulated time, converts it to an observed RPS, and
+targets ``ceil(rps / target_rps_per_machine)`` machines:
+
+* scale **up** immediately — but new machines spend ``warmup_ns``
+  warming (cold start) before the balancer may route to them, so a
+  burst still hits the old fleet for one warm-up latency;
+* scale **down** conservatively — one machine per tick, only after the
+  demand has been below target for ``down_ticks`` consecutive
+  intervals (hysteresis against MMPP regime flapping), by *draining*:
+  the machine stops receiving new work and finishes what it has.
+
+Every decision is recorded for the experiment reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+__all__ = ["AutoscalerConfig", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Autoscaler parameters."""
+
+    #: Demand one machine is expected to absorb.
+    target_rps_per_machine: float
+    #: Control-loop sampling period (sim ns).
+    interval_ns: float = 20e6
+    min_machines: int = 1
+    max_machines: int = 12
+    #: Cold-start latency before a new machine becomes routable.
+    warmup_ns: float = 50e6
+    #: Consecutive low-demand ticks required before draining one machine.
+    down_ticks: int = 2
+
+    def __post_init__(self):
+        if self.target_rps_per_machine <= 0:
+            raise ValueError("target_rps_per_machine must be positive")
+        if self.interval_ns <= 0:
+            raise ValueError("interval_ns must be positive")
+        if not 1 <= self.min_machines <= self.max_machines:
+            raise ValueError("need 1 <= min_machines <= max_machines")
+        if self.down_ticks < 1:
+            raise ValueError("down_ticks must be >= 1")
+
+
+class Autoscaler:
+    """Grows and shrinks a :class:`~repro.cluster.SimulatedCluster`."""
+
+    def __init__(self, cluster, config: AutoscalerConfig):
+        self.cluster = cluster
+        self.config = config
+        self.scale_ups = 0
+        self.scale_downs = 0
+        #: (t_ns, observed_rps, active_before, action) per control tick.
+        self.decisions: List[Tuple[float, float, int, str]] = []
+
+    def start(self) -> None:
+        self.cluster.env.process(self._loop(), name="autoscaler")
+
+    def desired_machines(self, observed_rps: float) -> int:
+        raw = math.ceil(observed_rps / self.config.target_rps_per_machine)
+        return max(self.config.min_machines, min(self.config.max_machines, raw))
+
+    def _loop(self):
+        env = self.cluster.env
+        config = self.config
+        last_arrivals = self.cluster.total_arrivals
+        low_ticks = 0
+        while True:
+            yield env.timeout(config.interval_ns)
+            arrivals = self.cluster.total_arrivals
+            observed_rps = (
+                (arrivals - last_arrivals) / config.interval_ns * 1e9
+            )
+            last_arrivals = arrivals
+            active = len(self.cluster.active_machines())
+            desired = self.desired_machines(observed_rps)
+            action = "hold"
+            if desired > active:
+                low_ticks = 0
+                for _ in range(desired - active):
+                    self.cluster.add_machine(warmup_ns=config.warmup_ns)
+                    self.scale_ups += 1
+                action = f"up->{desired}"
+            elif desired < active and active > config.min_machines:
+                low_ticks += 1
+                if low_ticks >= config.down_ticks:
+                    low_ticks = 0
+                    self.cluster.drain_one()
+                    self.scale_downs += 1
+                    action = f"down->{active - 1}"
+            else:
+                low_ticks = 0
+            self.decisions.append((env.now, observed_rps, active, action))
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "scale_ups": float(self.scale_ups),
+            "scale_downs": float(self.scale_downs),
+            "ticks": float(len(self.decisions)),
+            "target_rps_per_machine": self.config.target_rps_per_machine,
+        }

@@ -1,0 +1,154 @@
+"""Pluggable load-balancing policies for the simulated fleet.
+
+Four policies, from the classic textbook ladder to the paper-flavoured
+one:
+
+* ``round-robin`` — rotate through routable machines, blind to state.
+* ``least-outstanding`` — join the machine with the fewest in-flight
+  requests (JSQ on the dispatch counter).
+* ``power-of-two`` — sample two machines uniformly at random and join
+  the one whose *probed local pressure* is lower (Mitzenmacher's
+  power-of-two-choices at O(1) probe cost, probing the server-reported
+  occupancy the way production balancers do rather than a client-side
+  outstanding counter, which remote waits wash out).
+* ``accel-aware`` — join the machine with the lowest *local* occupancy:
+  accelerator input-queue depth (double-weighting the LdB accelerator,
+  the signal the paper dedicates to load balancing) plus busy cores.
+  Unlike the outstanding counter, this ignores requests parked on
+  remote waits, so it tracks capacity actually consumed on-package —
+  the fleet-level analogue of AccelFlow's occupancy-driven dispatchers.
+
+Every policy is deterministic given its input stream, so cluster runs
+reproduce exactly and shards stay byte-identical under any ``--jobs``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim import Stream
+from ..workloads.request import Request
+from .machine import ClusterMachine
+
+__all__ = [
+    "LoadBalancer",
+    "RoundRobinBalancer",
+    "LeastOutstandingBalancer",
+    "PowerOfTwoBalancer",
+    "AcceleratorAwareBalancer",
+    "BALANCER_POLICIES",
+    "POLICY_ORDER",
+    "make_balancer",
+]
+
+
+class LoadBalancer:
+    """Base policy: pick one machine from the routable set."""
+
+    name = "base"
+
+    def pick(
+        self, machines: Sequence[ClusterMachine], request: Request
+    ) -> ClusterMachine:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinBalancer(LoadBalancer):
+    """Rotate over the routable machines in order."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def pick(self, machines, request):
+        machine = machines[self._next % len(machines)]
+        self._next += 1
+        return machine
+
+
+class LeastOutstandingBalancer(LoadBalancer):
+    """Join the shortest queue of in-flight requests (JSQ)."""
+
+    name = "least-outstanding"
+
+    def pick(self, machines, request):
+        return min(machines, key=lambda m: (m.outstanding_count, m.index))
+
+
+class PowerOfTwoBalancer(LoadBalancer):
+    """Probe two random machines, join the less pressured one.
+
+    The probe reads each machine's local queue pressure (busy cores +
+    accelerator input queues) instead of the outstanding counter: on a
+    heterogeneous fleet the outstanding count is dominated by remote
+    waits — identical on every machine — and carries almost no signal,
+    while the probed pressure tracks capacity actually in use.
+    """
+
+    name = "power-of-two"
+
+    def __init__(self, stream: Stream):
+        self.stream = stream
+
+    def pick(self, machines, request):
+        if len(machines) == 1:
+            return machines[0]
+        first = machines[self.stream.randint(0, len(machines) - 1)]
+        second = machines[self.stream.randint(0, len(machines) - 1)]
+        return min(first, second, key=lambda m: (m.queue_pressure(), m.index))
+
+
+class AcceleratorAwareBalancer(LoadBalancer):
+    """Join the machine with the least on-package occupancy.
+
+    Score = accelerator input-queue depth + busy cores + an extra LdB
+    term; outstanding count breaks ties so identical idle machines
+    still spread work deterministically.
+    """
+
+    name = "accel-aware"
+
+    #: Extra weight of the LdB occupancy on top of its share of the
+    #: overall queue pressure (it is the freshest dispatch signal).
+    ldb_weight = 1.0
+
+    def pick(self, machines, request):
+        return min(
+            machines,
+            key=lambda m: (
+                m.queue_pressure() + self.ldb_weight * m.ldb_occupancy(),
+                m.outstanding_count,
+                m.index,
+            ),
+        )
+
+
+#: Policy name -> factory(stream). Only stochastic policies consume the
+#: stream; the rest ignore it.
+BALANCER_POLICIES: Dict[str, Callable[[Optional[Stream]], LoadBalancer]] = {
+    "round-robin": lambda stream: RoundRobinBalancer(),
+    "least-outstanding": lambda stream: LeastOutstandingBalancer(),
+    "power-of-two": lambda stream: PowerOfTwoBalancer(stream),
+    "accel-aware": lambda stream: AcceleratorAwareBalancer(),
+}
+
+#: Stable policy ordering for experiment tables.
+POLICY_ORDER: List[str] = list(BALANCER_POLICIES)
+
+
+def make_balancer(name: str, stream: Optional[Stream] = None) -> LoadBalancer:
+    """Build the policy called ``name`` (see :data:`BALANCER_POLICIES`)."""
+    try:
+        factory = BALANCER_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown balancer policy {name!r}; "
+            f"known: {', '.join(BALANCER_POLICIES)}"
+        ) from None
+    if name == "power-of-two" and stream is None:
+        raise ValueError("power-of-two needs a random stream")
+    return factory(stream)

@@ -1,0 +1,344 @@
+"""A fleet of simulated servers behind one load-balancing front door.
+
+:class:`SimulatedCluster` owns a single shared
+:class:`~repro.sim.Environment` and a growable list of
+:class:`~repro.cluster.machine.ClusterMachine` members, each wrapping a
+full :class:`~repro.server.SimulatedServer` seeded independently via
+:func:`repro.sim.derive_seed`. In front of the fleet sit, in order:
+
+1. **admission control** (optional) — shed or degrade arrivals while
+   the predicted P99 exceeds the SLO target;
+2. the **balancer policy** — pick a routable machine;
+3. the **request lifecycle** — dispatch, and on a machine failure
+   reroute the interrupted request to a survivor (bounded retries).
+
+A reactive :class:`~repro.cluster.autoscaler.Autoscaler` may grow and
+drain the fleet from the observed load signal, and scheduled
+:class:`MachineFailure` events kill machines mid-run. Cluster-level
+observability (fleet gauges, control-plane spans) plugs into the same
+:class:`~repro.obs.ObsConfig` switchboard as everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..obs import MetricsRegistry, ObsSession, SpanTracer
+from ..server.machine import SimulatedServer
+from ..sim import Environment, Interrupt, Process, RandomStreams, derive_seed
+from ..workloads.payloads import PayloadModel
+from ..workloads.request import Request
+from ..workloads.spec import ServiceSpec
+from .admission import AdmissionController, AdmissionDecision
+from .autoscaler import Autoscaler
+from .balancer import make_balancer
+from .machine import ClusterMachine, MachineState
+
+__all__ = ["MachineFailure", "SimulatedCluster", "RequestStatus"]
+
+
+@dataclass(frozen=True)
+class MachineFailure:
+    """Kill machine ``machine`` (by index) at sim time ``at_ns``."""
+
+    at_ns: float
+    machine: int
+
+
+class RequestStatus:
+    """Terminal status of one request's cluster lifecycle."""
+
+    OK = "ok"
+    SHED = "shed"
+    LOST = "lost"
+
+
+class SimulatedCluster:
+    """Many servers, one event calendar, one front door."""
+
+    def __init__(self, config):
+        self.config = config
+        # One environment for the whole fleet: machines interleave on a
+        # single event calendar, so cross-machine timing is coherent.
+        self.env = Environment()
+        self.streams = RandomStreams(derive_seed(config.seed, "cluster"))
+        self.machines: List[ClusterMachine] = []
+        self._machine_counter = 0
+        self.balancer = make_balancer(
+            config.policy, self.streams.stream("balancer")
+        )
+        self.admission = (
+            AdmissionController(config.admission) if config.admission else None
+        )
+        self.autoscaler = (
+            Autoscaler(self, config.autoscaler) if config.autoscaler else None
+        )
+
+        # Front-door request sampling (cluster-level streams, so the
+        # request sequence is identical across balancer policies —
+        # common random numbers for policy comparisons).
+        self._field_stream = self.streams.stream("fields")
+        self._payload_models: Dict[str, PayloadModel] = {}
+
+        # Counters.
+        self.total_arrivals = 0
+        self.completed = 0
+        self.shed = 0
+        self.degraded = 0
+        self.rerouted = 0
+        self.lost = 0
+        self.machines_failed = 0
+        self.peak_machines = 0
+
+        # Cluster-level observability: fleet gauges + control-plane spans.
+        self.tracer: Optional[SpanTracer] = None
+        self.metrics: Optional[MetricsRegistry] = None
+        obs = config.obs
+        if obs is not None:
+            if obs.trace:
+                self.tracer = SpanTracer(
+                    self.env, sample_rate=obs.sample_rate, max_spans=obs.max_spans
+                )
+            if obs.metrics:
+                self.metrics = MetricsRegistry(
+                    self.env,
+                    interval_ns=obs.metrics_interval_ns,
+                    capacity=obs.metrics_capacity,
+                )
+            obs.sessions.append(ObsSession(self.env, self.tracer, self.metrics))
+
+        for _ in range(config.machines):
+            self.add_machine(warmup_ns=0.0)
+        for failure in config.failures:
+            self.env.process(
+                self._failure_process(failure), name="machine-failure"
+            )
+        if self.autoscaler is not None:
+            self.autoscaler.start()
+        if self.metrics is not None:
+            self._register_gauges()
+            self.metrics.start()
+
+    # ------------------------------------------------------------------
+    # Fleet membership
+    # ------------------------------------------------------------------
+    def add_machine(self, warmup_ns: float = 0.0) -> ClusterMachine:
+        """Add a machine; it becomes routable after ``warmup_ns``."""
+        index = self._machine_counter
+        self._machine_counter += 1
+        config = self.config
+        server = SimulatedServer(
+            config.architecture,
+            machine_params=config.machine_params_for(index),
+            registry=config.registry,
+            seed=derive_seed(config.seed, "machine", index),
+            queue_policy=config.queue_policy,
+            orch_costs=config.orch_costs,
+            remotes=config.remotes,
+            branch_probs=config.branch_probs,
+            env=self.env,
+        )
+        machine = ClusterMachine(
+            index, server, warm_at_ns=self.env.now + warmup_ns
+        )
+        self.machines.append(machine)
+        self.peak_machines = max(
+            self.peak_machines, len(self.active_machines())
+        )
+        if self.tracer is not None:
+            self.tracer.instant(
+                "machine-added",
+                "cluster",
+                args={"machine": index, "warmup_ns": warmup_ns},
+            )
+        return machine
+
+    def drain_one(self) -> Optional[ClusterMachine]:
+        """Drain the active machine with the least outstanding work."""
+        candidates = [
+            m
+            for m in self.machines
+            if m.state in (MachineState.WARMING, MachineState.ALIVE)
+        ]
+        if len(candidates) <= 1:
+            return None
+        victim = min(candidates, key=lambda m: (m.outstanding_count, -m.index))
+        victim.drain()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "machine-drained", "cluster", args={"machine": victim.index}
+            )
+        return victim
+
+    def fail_machine(self, index: int) -> int:
+        """Kill the machine with fleet index ``index`` right now."""
+        machine = self.machine(index)
+        if machine.state == MachineState.DEAD:
+            return 0
+        victims = machine.fail()
+        self.machines_failed += 1
+        if self.tracer is not None:
+            self.tracer.instant(
+                "machine-failure",
+                "cluster",
+                args={"machine": index, "inflight": victims},
+            )
+        return victims
+
+    def machine(self, index: int) -> ClusterMachine:
+        for machine in self.machines:
+            if machine.index == index:
+                return machine
+        raise KeyError(f"no machine with index {index}")
+
+    def routable_machines(self) -> List[ClusterMachine]:
+        """Machines the balancer may currently target."""
+        return [m for m in self.machines if m.routable]
+
+    def active_machines(self) -> List[ClusterMachine]:
+        """Machines that count toward capacity (warming included)."""
+        return [
+            m
+            for m in self.machines
+            if m.state in (MachineState.WARMING, MachineState.ALIVE)
+        ]
+
+    def _failure_process(self, failure: MachineFailure):
+        yield self.env.timeout(failure.at_ns)
+        self.fail_machine(failure.machine)
+
+    # ------------------------------------------------------------------
+    # Front door
+    # ------------------------------------------------------------------
+    def make_request(self, spec: ServiceSpec) -> Request:
+        """Sample a request at the front door (cluster-level streams)."""
+        probs = self.config.resolved_branch_probs().as_dict()
+        state = {
+            field: self._field_stream.bernoulli(p) for field, p in probs.items()
+        }
+        model = self._payload_models.get(spec.name)
+        if model is None:
+            model = PayloadModel(
+                self.streams.stream(f"payload/{spec.name}"),
+                median_bytes=spec.wire_median_bytes,
+            )
+            self._payload_models[spec.name] = model
+        return Request(
+            spec,
+            arrival_ns=self.env.now,
+            state=state,
+            wire_size=model.sample_wire_size(),
+            tenant=spec.tenant,
+            priority=spec.priority,
+        )
+
+    def submit(self, request: Request) -> Process:
+        """Run one request through admission, balancing and execution.
+
+        The returned process terminates with ``(status, request)`` where
+        ``status`` is a :class:`RequestStatus` and ``request`` is the
+        (possibly rerouted clone of the) request that reached its
+        terminal state.
+        """
+        self.total_arrivals += 1
+        return self.env.process(
+            self._lifecycle(request), name=f"clreq-{request.rid}"
+        )
+
+    def _lifecycle(self, request: Request):
+        if self.admission is not None:
+            decision = self.admission.decide(request)
+            if decision == AdmissionDecision.SHED:
+                self.shed += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "shed", "cluster", args={"service": request.spec.name}
+                    )
+                return (RequestStatus.SHED, request)
+            if decision == AdmissionDecision.DEGRADE:
+                self.degraded += 1
+        attempts = 0
+        while True:
+            machines = self.routable_machines()
+            if not machines:
+                return self._give_up(request)
+            machine = self.balancer.pick(machines, request)
+            proc = machine.submit(request)
+            try:
+                yield proc
+            except Interrupt:
+                # The machine died under this request: reroute a fresh
+                # attempt (bounded) to whoever is still standing.
+                attempts += 1
+                self.rerouted += 1
+                if attempts > self.config.max_reroutes:
+                    return self._give_up(request)
+                request = self._clone_for_retry(request)
+                continue
+            self.completed += 1
+            if self.admission is not None:
+                self.admission.observe(request.latency_ns)
+            return (RequestStatus.OK, request)
+
+    def _give_up(self, request: Request):
+        """Terminate a request that cannot be (re)placed: hard error."""
+        request.error = True
+        request.timed_out = True
+        request.complete_ns = self.env.now
+        self.lost += 1
+        return (RequestStatus.LOST, request)
+
+    def _clone_for_retry(self, request: Request) -> Request:
+        """A fresh attempt that keeps the original arrival time, so the
+        recorded latency honestly includes the failover penalty."""
+        clone = Request(
+            request.spec,
+            arrival_ns=request.arrival_ns,
+            state=dict(request.state),
+            wire_size=request.wire_size,
+            tenant=request.tenant,
+            priority=request.priority,
+        )
+        return clone
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _register_gauges(self) -> None:
+        registry = self.metrics
+        registry.gauge(
+            "cluster:machines", lambda: float(len(self.routable_machines()))
+        )
+        registry.gauge(
+            "cluster:outstanding",
+            lambda: float(sum(m.outstanding_count for m in self.machines)),
+        )
+        registry.gauge(
+            "cluster:pressure",
+            lambda: sum(m.queue_pressure() for m in self.routable_machines()),
+        )
+        registry.rate_gauge("cluster:rps", lambda: float(self.completed))
+        registry.rate_gauge("cluster:shed_rps", lambda: float(self.shed))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "arrivals": self.total_arrivals,
+            "completed": self.completed,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "rerouted": self.rerouted,
+            "lost": self.lost,
+            "machines_failed": self.machines_failed,
+            "peak_machines": self.peak_machines,
+            "machines": [m.stats() for m in self.machines],
+            "autoscaler": (
+                self.autoscaler.stats() if self.autoscaler is not None else None
+            ),
+            "admission": (
+                self.admission.stats() if self.admission is not None else None
+            ),
+        }

@@ -1,0 +1,234 @@
+"""Cluster experiment driver: fleet-level load generation and results.
+
+Mirrors :mod:`repro.server.driver` one level up: open-loop arrival
+processes (Poisson or MMPP, via :func:`repro.workloads.make_arrivals`)
+feed the cluster's front door, every request's lifecycle process lands
+in a sink, and the run ends at full completion or at a horizon. The
+fold produces a :class:`ClusterResult` with per-service
+:class:`~repro.server.metrics.ServiceResult` objects plus the
+fleet-level counters (shed / degraded / rerouted / lost, machine and
+autoscaler stats) and a cluster-wide latency distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.registry import TraceRegistry
+from ..hw.accelerator import QueuePolicy
+from ..hw.params import MachineParams
+from ..obs import ObsConfig
+from ..server.metrics import ServiceResult
+from ..sim import LatencyRecorder
+from ..workloads.arrivals import make_arrivals
+from ..workloads.calibration import (
+    BranchProbabilities,
+    OrchestrationCosts,
+    RemoteLatencies,
+)
+from ..workloads.spec import ServiceSpec
+from .admission import AdmissionConfig
+from .autoscaler import AutoscalerConfig
+from .cluster import MachineFailure, RequestStatus, SimulatedCluster
+
+__all__ = ["ClusterConfig", "ClusterResult", "run_cluster"]
+
+_SECOND_NS = 1e9
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Parameters of one cluster measurement run."""
+
+    architecture: str = "accelflow"
+    #: Balancer policy name (see :data:`repro.cluster.BALANCER_POLICIES`).
+    policy: str = "round-robin"
+    #: Initial fleet size.
+    machines: int = 2
+    requests_per_service: int = 200
+    seed: int = 0
+    queue_policy: str = QueuePolicy.FIFO
+    #: "poisson", "alibaba" (MMPP), "azure" (spikier MMPP) or "mmpp"
+    #: (MMPP with the ``mmpp_*`` burst shape below).
+    arrival_mode: str = "alibaba"
+    #: Burst shape for ``arrival_mode="mmpp"`` — defaults chosen so a
+    #: few hundred requests span several regime dwells.
+    mmpp_burst_factor: float = 6.0
+    mmpp_burst_share: float = 0.15
+    mmpp_dwell_ns: float = 2e6
+    #: Cluster-wide per-service rate; overrides each spec's own rate.
+    rate_rps: Optional[float] = None
+    rate_scale: float = 1.0
+    machine_params: Optional[MachineParams] = None
+    #: Processor-generation cycle for a heterogeneous fleet (machine i
+    #: gets ``generations[i % len]``); empty = homogeneous fleet.
+    generations: Tuple[str, ...] = ()
+    warmup_fraction: float = 0.1
+    #: Run at most this much simulated time past the last arrival.
+    drain_ns: float = 200e6
+    #: Reroute attempts after machine failures before giving up.
+    max_reroutes: int = 2
+    autoscaler: Optional[AutoscalerConfig] = None
+    admission: Optional[AdmissionConfig] = None
+    failures: Tuple[MachineFailure, ...] = ()
+    orch_costs: Optional[OrchestrationCosts] = None
+    remotes: Optional[RemoteLatencies] = None
+    branch_probs: Optional[BranchProbabilities] = None
+    registry: Optional[TraceRegistry] = None
+    #: Cluster-level observability (fleet gauges, control-plane spans).
+    obs: Optional[ObsConfig] = None
+
+    def machine_params_for(self, index: int) -> MachineParams:
+        params = self.machine_params or MachineParams()
+        if self.generations:
+            params = params.with_generation(
+                self.generations[index % len(self.generations)]
+            )
+        return params
+
+    def resolved_branch_probs(self) -> BranchProbabilities:
+        return self.branch_probs or BranchProbabilities()
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of one cluster run."""
+
+    policy: str
+    architecture: str
+    services: Dict[str, ServiceResult]
+    elapsed_ns: float
+    #: Latency distribution over every completed request in the fleet.
+    recorder: LatencyRecorder
+    arrivals: int = 0
+    completed: int = 0
+    shed: int = 0
+    degraded: int = 0
+    rerouted: int = 0
+    lost: int = 0
+    machines_failed: int = 0
+    peak_machines: int = 0
+    machine_stats: List[Dict] = dataclass_field(default_factory=list)
+    autoscaler_stats: Optional[Dict] = None
+    admission_stats: Optional[Dict] = None
+    offered_rps: Dict[str, float] = dataclass_field(default_factory=dict)
+    #: The cluster itself, for white-box tests (not for shard payloads).
+    cluster: Optional[SimulatedCluster] = dataclass_field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- aggregates -------------------------------------------------------
+    def p99_ns(self) -> float:
+        return self.recorder.p99()
+
+    def mean_ns(self) -> float:
+        return self.recorder.mean()
+
+    def mean_p99_ns(self) -> float:
+        """Unweighted mean of per-service P99s (the paper's averages)."""
+        values = [s.p99_ns() for s in self.services.values() if len(s.recorder)]
+        if not values:
+            raise ValueError("no completed requests")
+        return sum(values) / len(values)
+
+    def total_censored(self) -> int:
+        return sum(s.censored for s in self.services.values())
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+    def achieved_rps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.completed / (self.elapsed_ns * 1e-9)
+
+
+def _source(cluster: SimulatedCluster, spec: ServiceSpec,
+            config: ClusterConfig, sink: List):
+    """Process: open-loop arrivals for one service at the front door."""
+    rate = config.rate_rps if config.rate_rps is not None else spec.rate_rps
+    rate *= config.rate_scale
+    arrivals = make_arrivals(
+        config.arrival_mode,
+        rate,
+        cluster.streams.stream(f"arrivals/{spec.name}"),
+        burst_factor=config.mmpp_burst_factor,
+        burst_share=config.mmpp_burst_share,
+        mean_dwell_ns=config.mmpp_dwell_ns,
+    )
+    for _ in range(config.requests_per_service):
+        yield cluster.env.timeout(arrivals.next_gap_ns())
+        request = cluster.make_request(spec)
+        sink.append((spec.name, request.arrival_ns, cluster.submit(request)))
+
+
+def run_cluster(
+    services: List[ServiceSpec], config: ClusterConfig
+) -> ClusterResult:
+    """Run one cluster measurement; see the module docstring."""
+    cluster = SimulatedCluster(config)
+    env = cluster.env
+    sink: List = []
+    sources = [
+        env.process(_source(cluster, spec, config, sink), name=f"src-{spec.name}")
+        for spec in services
+    ]
+    # Horizon: expected arrival span of the slowest source + drain.
+    span = max(
+        config.requests_per_service
+        / ((config.rate_rps or spec.rate_rps) * config.rate_scale)
+        for spec in services
+    )
+    horizon_ns = span * _SECOND_NS + config.drain_ns
+
+    def _watch_completion(env):
+        for source in sources:
+            yield source
+        yield env.all_of([proc for _, _, proc in sink])
+
+    watcher = env.process(_watch_completion(env))
+    env.run(until=env.any_of([watcher, env.timeout(horizon_ns)]))
+
+    results = {
+        spec.name: ServiceResult(spec.name, warmup_fraction=config.warmup_fraction)
+        for spec in services
+    }
+    recorder = LatencyRecorder(warmup_fraction=config.warmup_fraction)
+    for name, arrival_ns, proc in sink:
+        result = results[name]
+        if not proc.triggered:
+            # Still in flight at the horizon.
+            result.record_censored(env.now - arrival_ns)
+            continue
+        status, request = proc.value
+        if status == RequestStatus.SHED:
+            continue  # counted by the cluster, carries no latency
+        result.record(request)
+        recorder.record(request.latency_ns)
+
+    stats = cluster.stats()
+    return ClusterResult(
+        policy=config.policy,
+        architecture=config.architecture,
+        services=results,
+        elapsed_ns=env.now,
+        recorder=recorder,
+        arrivals=stats["arrivals"],
+        completed=stats["completed"],
+        shed=stats["shed"],
+        degraded=stats["degraded"],
+        rerouted=stats["rerouted"],
+        lost=stats["lost"],
+        machines_failed=stats["machines_failed"],
+        peak_machines=stats["peak_machines"],
+        machine_stats=stats["machines"],
+        autoscaler_stats=stats["autoscaler"],
+        admission_stats=stats["admission"],
+        offered_rps={
+            spec.name: (config.rate_rps or spec.rate_rps) * config.rate_scale
+            for spec in services
+        },
+        cluster=cluster,
+    )

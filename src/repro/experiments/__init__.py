@@ -16,6 +16,7 @@ from . import (
     fig18_chiplets,
     fig19_pes,
     fig20_generations,
+    fig_cluster,
     sensitivity,
     table1_connectivity,
     table2_traces,
@@ -42,6 +43,7 @@ EXPERIMENTS = {
     "fig18": fig18_chiplets.run,
     "fig19": fig19_pes.run,
     "fig20": fig20_generations.run,
+    "fig_cluster": fig_cluster.run,
     "sens-interchiplet": sensitivity.run_interchiplet,
     "sens-speedups": sensitivity.run_speedups,
     "sens-adaptive": sensitivity.run_adaptive,
@@ -71,6 +73,7 @@ SHARDED = {
     "fig18": fig18_chiplets.SHARDED,
     "fig19": fig19_pes.SHARDED,
     "fig20": fig20_generations.SHARDED,
+    "fig_cluster": fig_cluster.SHARDED,
     "sens-interchiplet": sensitivity.SHARDED_INTERCHIPLET,
     "sens-speedups": sensitivity.SHARDED_SPEEDUPS,
     "sens-adaptive": sensitivity.SHARDED_ADAPTIVE,

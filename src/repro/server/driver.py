@@ -22,7 +22,7 @@ from typing import Dict, List, Optional
 from ..hw.accelerator import QueuePolicy
 from ..hw.params import MachineParams
 from ..obs import ObsConfig
-from ..workloads.arrivals import MmppArrivals, PoissonArrivals
+from ..workloads.arrivals import make_arrivals
 from ..workloads.calibration import (
     BranchProbabilities,
     OrchestrationCosts,
@@ -99,13 +99,7 @@ def _arrivals_for(server: SimulatedServer, spec: ServiceSpec, config: RunConfig)
     rate = config.rate_rps if config.rate_rps is not None else spec.rate_rps
     rate *= config.rate_scale
     stream = server.streams.stream(f"arrivals/{spec.name}")
-    if config.arrival_mode == "poisson":
-        return PoissonArrivals(rate, stream)
-    if config.arrival_mode == "alibaba":
-        return MmppArrivals(rate, stream, burst_factor=5.0, burst_share=0.10)
-    if config.arrival_mode == "azure":
-        return MmppArrivals(rate, stream, burst_factor=10.0, burst_share=0.06)
-    raise ValueError(f"unknown arrival mode {config.arrival_mode!r}")
+    return make_arrivals(config.arrival_mode, rate, stream)
 
 
 def _source(server: SimulatedServer, spec: ServiceSpec, config: RunConfig, sink):

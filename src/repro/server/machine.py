@@ -25,7 +25,12 @@ __all__ = ["SimulatedServer"]
 
 
 class SimulatedServer:
-    """A 36-core server with the nine-accelerator ensemble."""
+    """A 36-core server with the nine-accelerator ensemble.
+
+    Pass ``env`` to place several servers in one simulation (the
+    cluster subsystem runs a whole fleet on a shared event calendar);
+    by default each server owns a fresh :class:`Environment`.
+    """
 
     def __init__(
         self,
@@ -38,14 +43,19 @@ class SimulatedServer:
         remotes: Optional[RemoteLatencies] = None,
         branch_probs: Optional[BranchProbabilities] = None,
         obs: Optional[ObsConfig] = None,
+        env: Optional[Environment] = None,
     ):
         self.architecture = architecture
         self.params = machine_params or MachineParams()
         self.registry = registry or TraceRegistry.with_standard_templates()
         self.obs = obs
-        self.env = Environment(
-            profile=obs.profile_kernel if obs is not None else False
-        )
+        if env is None:
+            env = Environment(
+                profile=obs.profile_kernel if obs is not None else False
+            )
+        elif obs is not None and obs.profile_kernel:
+            env.enable_profiling()
+        self.env = env
         self.tracer: Optional[SpanTracer] = None
         self.metrics: Optional[MetricsRegistry] = None
         if obs is not None:

@@ -1,7 +1,7 @@
 """Workload models: services, costs, payloads, arrival processes."""
 
 from .alibaba import alibaba_arrivals, verify_average_rate
-from .arrivals import ClosedBatch, MmppArrivals, PoissonArrivals
+from .arrivals import ClosedBatch, MmppArrivals, PoissonArrivals, make_arrivals
 from .azure import azure_arrivals
 from .calibration import (
     ALIBABA_AVERAGE_RPS,
@@ -70,6 +70,7 @@ __all__ = [
     "US",
     "alibaba_arrivals",
     "azure_arrivals",
+    "make_arrivals",
     "coarse_machine_params",
     "count_ops_by_category",
     "expand_chain",

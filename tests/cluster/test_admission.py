@@ -1,0 +1,126 @@
+"""SLO-aware admission control: shed, degrade, and recovery."""
+
+import pytest
+
+from repro.cluster import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    ClusterConfig,
+    run_cluster,
+)
+from repro.workloads import social_network_services
+
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+def make_request(spec_name="StoreP", wire_size=4096):
+    from repro.workloads.request import Request
+
+    return Request(
+        SERVICES[spec_name], arrival_ns=0.0, state={}, wire_size=wire_size
+    )
+
+
+class TestController:
+    def test_cold_start_admits_everything(self):
+        controller = AdmissionController(AdmissionConfig(slo_ns=1.0))
+        for _ in range(10):
+            assert controller.decide(make_request()) == AdmissionDecision.ADMIT
+        assert controller.predicted_p99_ns() is None
+
+    def test_sheds_once_prediction_exceeds_slo(self):
+        config = AdmissionConfig(slo_ns=1000.0, min_samples=5)
+        controller = AdmissionController(config)
+        for _ in range(10):
+            controller.observe(5000.0)  # way over the SLO
+        assert controller.overloaded
+        assert controller.decide(make_request()) == AdmissionDecision.SHED
+        assert controller.shed == 1
+
+    def test_recovers_when_tail_drains(self):
+        config = AdmissionConfig(slo_ns=1000.0, window=8, min_samples=5)
+        controller = AdmissionController(config)
+        for _ in range(8):
+            controller.observe(5000.0)
+        assert controller.overloaded
+        for _ in range(8):  # the window forgets the burst
+            controller.observe(100.0)
+        assert not controller.overloaded
+        assert controller.decide(make_request()) == AdmissionDecision.ADMIT
+
+    def test_degrade_truncates_payload(self):
+        config = AdmissionConfig(
+            slo_ns=1000.0, mode="degrade", min_samples=5, degrade_factor=0.5
+        )
+        controller = AdmissionController(config)
+        for _ in range(10):
+            controller.observe(5000.0)
+        request = make_request(wire_size=4096)
+        assert controller.decide(request) == AdmissionDecision.DEGRADE
+        assert request.wire_size == 2048
+
+    def test_degrade_respects_floor(self):
+        config = AdmissionConfig(
+            slo_ns=1000.0,
+            mode="degrade",
+            min_samples=5,
+            degrade_factor=0.01,
+            degrade_floor_bytes=64,
+        )
+        controller = AdmissionController(config)
+        for _ in range(10):
+            controller.observe(5000.0)
+        request = make_request(wire_size=4096)
+        controller.decide(request)
+        assert request.wire_size == 64
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_ns=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_ns=1.0, mode="explode")
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_ns=1.0, degrade_factor=0.0)
+
+
+class TestClusterIntegration:
+    def _run(self, mode):
+        # One machine offered ~2x its capacity, with the arrival span
+        # long enough (several ms) for completed-latency feedback to
+        # warm the prediction window while the overload persists.
+        services = [SERVICES["StoreP"], SERVICES["Login"]]
+        config = ClusterConfig(
+            machines=1,
+            requests_per_service=300,
+            rate_rps=40000.0,
+            seed=3,
+            arrival_mode="mmpp",
+            admission=AdmissionConfig(
+                slo_ns=2e6, mode=mode, window=64, min_samples=10
+            ),
+        )
+        return run_cluster(services, config)
+
+    def test_overload_sheds_and_accounting_balances(self):
+        result = self._run("shed")
+        assert result.shed > 0, "an overloaded machine never shed"
+        assert result.shed + result.completed + result.lost == result.arrivals
+        # Shed requests carry no latency: the recorder only holds the
+        # admitted completions.
+        assert len(result.recorder) == result.completed
+
+    def test_degrade_mode_serves_lighter_responses(self):
+        result = self._run("degrade")
+        assert result.degraded > 0
+        assert result.shed == 0  # brown-out, not rejection
+        assert result.completed + result.lost == result.arrivals
+
+    def test_no_admission_control_admits_all(self):
+        services = [SERVICES["StoreP"]]
+        config = ClusterConfig(
+            machines=1, requests_per_service=30, rate_rps=20000.0, seed=3
+        )
+        result = run_cluster(services, config)
+        assert result.shed == 0 and result.degraded == 0
+        assert result.admission_stats is None

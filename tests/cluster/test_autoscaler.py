@@ -1,0 +1,133 @@
+"""Reactive autoscaling: scale-up with warm-up latency, hysteretic drain."""
+
+import pytest
+
+from repro.cluster import (
+    AutoscalerConfig,
+    ClusterConfig,
+    MachineState,
+    SimulatedCluster,
+    run_cluster,
+)
+from repro.workloads import social_network_services
+
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+def make_cluster(**autoscaler_kwargs):
+    defaults = dict(
+        target_rps_per_machine=10000.0,
+        interval_ns=1e6,
+        warmup_ns=5e6,
+        down_ticks=2,
+        max_machines=8,
+    )
+    defaults.update(autoscaler_kwargs)
+    config = ClusterConfig(
+        machines=1, seed=0, autoscaler=AutoscalerConfig(**defaults)
+    )
+    return SimulatedCluster(config)
+
+
+def feed(cluster, rps, intervals, interval_ns=1e6):
+    """Simulate an arrival counter advancing at ``rps`` for N ticks."""
+
+    def _process():
+        per_tick = int(rps * interval_ns / 1e9)
+        for _ in range(intervals):
+            cluster.total_arrivals += per_tick
+            yield cluster.env.timeout(interval_ns)
+
+    cluster.env.process(_process())
+    cluster.env.run(until=cluster.env.timeout(intervals * interval_ns + 1))
+
+
+class TestDesiredMachines:
+    def test_ceil_of_demand_over_target(self):
+        cluster = make_cluster()
+        scaler = cluster.autoscaler
+        assert scaler.desired_machines(0.0) == 1  # min_machines
+        assert scaler.desired_machines(10000.0) == 1
+        assert scaler.desired_machines(10001.0) == 2
+        assert scaler.desired_machines(35000.0) == 4
+
+    def test_clamped_to_max(self):
+        cluster = make_cluster(max_machines=3)
+        assert cluster.autoscaler.desired_machines(1e9) == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(target_rps_per_machine=0.0)
+        with pytest.raises(ValueError):
+            AutoscalerConfig(target_rps_per_machine=1.0, min_machines=5,
+                             max_machines=2)
+
+
+class TestScaleUp:
+    def test_burst_grows_fleet(self):
+        cluster = make_cluster()
+        feed(cluster, rps=40000.0, intervals=4)
+        assert cluster.autoscaler.scale_ups > 0
+        assert len(cluster.active_machines()) == 4  # ceil(40K / 10K)
+
+    def test_new_machines_warm_up_before_routable(self):
+        # down_ticks high: the quiet wait below must not drain the
+        # machines whose warm-up we are watching.
+        cluster = make_cluster(warmup_ns=5e6, down_ticks=100)
+        feed(cluster, rps=40000.0, intervals=2)  # triggers scale-up
+        warming = [
+            m for m in cluster.machines if m.state == MachineState.WARMING
+        ]
+        assert warming, "scaled-up machines should still be warming"
+        assert all(not m.routable for m in warming)
+        assert cluster.machines[0].routable  # the original still serves
+        # After the warm-up latency passes they become routable.
+        cluster.env.run(until=cluster.env.timeout(6e6))
+        assert all(m.routable for m in warming)
+
+
+class TestScaleDown:
+    def test_drains_after_consecutive_low_ticks(self):
+        cluster = make_cluster(down_ticks=2)
+        feed(cluster, rps=40000.0, intervals=3)
+        grown = len(cluster.active_machines())
+        assert grown > 1
+        # Demand collapses: nothing arrives for several intervals.
+        cluster.env.run(until=cluster.env.timeout(6e6))
+        assert cluster.autoscaler.scale_downs > 0
+        assert len(cluster.active_machines()) < grown
+
+    def test_hysteresis_tolerates_single_low_tick(self):
+        cluster = make_cluster(down_ticks=3)
+        feed(cluster, rps=40000.0, intervals=2)
+        # One quiet interval is not enough to drain anything.
+        cluster.env.run(until=cluster.env.timeout(1.5e6))
+        assert cluster.autoscaler.scale_downs == 0
+
+    def test_never_drains_below_min(self):
+        cluster = make_cluster()
+        cluster.env.run(until=cluster.env.timeout(20e6))  # zero demand
+        assert len(cluster.active_machines()) >= 1
+
+
+class TestEndToEnd:
+    def test_autoscaled_run_grows_under_load(self):
+        services = [SERVICES["UniqId"], SERVICES["Login"]]
+        config = ClusterConfig(
+            machines=1,
+            requests_per_service=150,
+            rate_rps=40000.0,
+            seed=1,
+            arrival_mode="mmpp",
+            autoscaler=AutoscalerConfig(
+                target_rps_per_machine=20000.0,
+                interval_ns=0.5e6,
+                warmup_ns=1e6,
+                max_machines=6,
+            ),
+        )
+        result = run_cluster(services, config)
+        assert result.peak_machines > 1, "overload never triggered scale-up"
+        assert result.autoscaler_stats["scale_ups"] >= 1
+        assert result.completed + result.lost == result.arrivals
+        assert result.total_censored() == 0

@@ -1,0 +1,139 @@
+"""Unit tests for the load-balancing policies (no simulation needed)."""
+
+import pytest
+
+from repro.cluster import (
+    BALANCER_POLICIES,
+    POLICY_ORDER,
+    AcceleratorAwareBalancer,
+    LeastOutstandingBalancer,
+    PowerOfTwoBalancer,
+    RoundRobinBalancer,
+    make_balancer,
+)
+from repro.sim import RandomStreams
+
+
+class FakeMachine:
+    """Just the occupancy surface the policies read."""
+
+    def __init__(self, index, outstanding=0, pressure=0.0, ldb=0):
+        self.index = index
+        self.outstanding_count = outstanding
+        self._pressure = pressure
+        self._ldb = ldb
+
+    def queue_pressure(self):
+        return self._pressure
+
+    def ldb_occupancy(self):
+        return self._ldb
+
+
+class ScriptedStream:
+    """Replays a fixed randint script (for the probing policy)."""
+
+    def __init__(self, values):
+        self._values = list(values)
+
+    def randint(self, low, high):
+        value = self._values.pop(0)
+        assert low <= value <= high
+        return value
+
+
+class TestRoundRobin:
+    def test_cycles_in_order(self):
+        machines = [FakeMachine(i) for i in range(3)]
+        balancer = RoundRobinBalancer()
+        picks = [balancer.pick(machines, None).index for _ in range(7)]
+        assert picks == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_survives_membership_change(self):
+        balancer = RoundRobinBalancer()
+        machines = [FakeMachine(i) for i in range(3)]
+        balancer.pick(machines, None)
+        balancer.pick(machines, None)
+        # One machine leaves: the rotation keeps going, modulo the
+        # shrunken set, never indexing out of range.
+        picks = [balancer.pick(machines[:2], None).index for _ in range(4)]
+        assert set(picks) <= {0, 1}
+
+
+class TestLeastOutstanding:
+    def test_picks_fewest_inflight(self):
+        machines = [
+            FakeMachine(0, outstanding=5),
+            FakeMachine(1, outstanding=2),
+            FakeMachine(2, outstanding=9),
+        ]
+        assert LeastOutstandingBalancer().pick(machines, None).index == 1
+
+    def test_tie_breaks_by_index(self):
+        machines = [FakeMachine(1, outstanding=3), FakeMachine(0, outstanding=3)]
+        assert LeastOutstandingBalancer().pick(machines, None).index == 0
+
+
+class TestPowerOfTwo:
+    def test_probes_pressure_not_outstanding(self):
+        # Machine 0 has many in-flight but low *local* pressure (its
+        # requests are parked on remote waits); machine 1 is the
+        # opposite. The probe must prefer low pressure.
+        machines = [
+            FakeMachine(0, outstanding=50, pressure=1.0),
+            FakeMachine(1, outstanding=1, pressure=20.0),
+        ]
+        balancer = PowerOfTwoBalancer(ScriptedStream([0, 1]))
+        assert balancer.pick(machines, None).index == 0
+
+    def test_single_machine_short_circuits(self):
+        machines = [FakeMachine(0)]
+        balancer = PowerOfTwoBalancer(ScriptedStream([]))  # no draws
+        assert balancer.pick(machines, None).index == 0
+
+    def test_deterministic_given_stream(self):
+        machines = [FakeMachine(i, pressure=float(i)) for i in range(4)]
+        picks_a = [
+            PowerOfTwoBalancer(RandomStreams(7).stream("b")).pick(machines, None).index
+            for _ in range(1)
+        ]
+        picks_b = [
+            PowerOfTwoBalancer(RandomStreams(7).stream("b")).pick(machines, None).index
+            for _ in range(1)
+        ]
+        assert picks_a == picks_b
+
+
+class TestAcceleratorAware:
+    def test_prefers_low_local_occupancy(self):
+        machines = [
+            FakeMachine(0, outstanding=1, pressure=10.0, ldb=0),
+            FakeMachine(1, outstanding=9, pressure=2.0, ldb=1),
+        ]
+        assert AcceleratorAwareBalancer().pick(machines, None).index == 1
+
+    def test_ldb_occupancy_breaks_pressure_tie(self):
+        machines = [
+            FakeMachine(0, pressure=4.0, ldb=3),
+            FakeMachine(1, pressure=4.0, ldb=0),
+        ]
+        assert AcceleratorAwareBalancer().pick(machines, None).index == 1
+
+
+class TestFactory:
+    def test_policy_order_matches_registry(self):
+        assert POLICY_ORDER == list(BALANCER_POLICIES)
+
+    def test_every_policy_constructs(self):
+        stream = RandomStreams(0).stream("balancer")
+        for name in POLICY_ORDER:
+            balancer = make_balancer(name, stream)
+            assert balancer.name == name
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown balancer policy"):
+            make_balancer("coin-flip")
+
+    def test_power_of_two_needs_a_stream(self):
+        with pytest.raises(ValueError):
+            make_balancer("power-of-two", None)
