@@ -17,6 +17,7 @@ from . import (
     fig19_pes,
     fig20_generations,
     fig_cluster,
+    fig_faults,
     sensitivity,
     table1_connectivity,
     table2_traces,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "fig19": fig19_pes.run,
     "fig20": fig20_generations.run,
     "fig_cluster": fig_cluster.run,
+    "fig_faults": fig_faults.run,
     "sens-interchiplet": sensitivity.run_interchiplet,
     "sens-speedups": sensitivity.run_speedups,
     "sens-adaptive": sensitivity.run_adaptive,
@@ -74,6 +76,7 @@ SHARDED = {
     "fig19": fig19_pes.SHARDED,
     "fig20": fig20_generations.SHARDED,
     "fig_cluster": fig_cluster.SHARDED,
+    "fig_faults": fig_faults.SHARDED,
     "sens-interchiplet": sensitivity.SHARDED_INTERCHIPLET,
     "sens-speedups": sensitivity.SHARDED_SPEEDUPS,
     "sens-adaptive": sensitivity.SHARDED_ADAPTIVE,

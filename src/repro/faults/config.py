@@ -1,0 +1,124 @@
+"""Fault-injection and recovery knobs.
+
+Every rate defaults to zero, so a default :class:`FaultConfig` is inert:
+:attr:`FaultConfig.enabled` is False and no fault plane is installed.
+Durations are simulated nanoseconds; rates are per-operation
+probabilities; ``*_interval_ns`` values are exponential means between
+injection windows; ``*_max`` values bound the number of windows one
+injector process schedules, so simulations driven by a bare
+``env.run()`` always drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultConfig"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """What to inject, and how hard the orchestrators fight back."""
+
+    # -- PE faults ---------------------------------------------------------
+    #: Probability an op completes with a corrupted (retryable) result.
+    pe_transient_rate: float = 0.0
+    #: Probability an op wedges its PE for :attr:`pe_wedge_ns` before
+    #: completing (long enough to trip the dispatch watchdog).
+    pe_wedge_rate: float = 0.0
+    pe_wedge_ns: float = 8e6
+    #: Mean time between stuck-at faults (0 disables); a stuck PE is
+    #: removed from its accelerator's free pool for :attr:`pe_repair_ns`.
+    pe_stuck_mtbf_ns: float = 0.0
+    pe_repair_ns: float = 5e6
+    pe_stuck_max: int = 8
+
+    # -- A-DMA faults ------------------------------------------------------
+    #: Probability a transfer stalls its engine for :attr:`dma_stall_ns`.
+    dma_stall_rate: float = 0.0
+    dma_stall_ns: float = 5e4
+    #: Probability a transfer delivers corrupted data (callers that
+    #: check the flag re-issue the transfer).
+    dma_corruption_rate: float = 0.0
+
+    # -- NoC faults --------------------------------------------------------
+    #: Mean gap between inter-chiplet link flaps (0 disables); a flapped
+    #: link blocks new transfers for :attr:`noc_flap_down_ns`.
+    noc_flap_interval_ns: float = 0.0
+    noc_flap_down_ns: float = 1e5
+    noc_flap_max: int = 16
+    #: >1 models worn links: inter-chiplet latency+serialization scale
+    #: by this factor while a fault plane is installed.
+    noc_degraded_factor: float = 1.0
+
+    # -- ATM faults --------------------------------------------------------
+    #: Mean gap between ATM outages (0 disables); reads issued during an
+    #: outage wait until the SRAM comes back.
+    atm_outage_interval_ns: float = 0.0
+    atm_outage_ns: float = 1e5
+    atm_outage_max: int = 8
+
+    # -- Central hardware-manager faults (RELIEF-family only) --------------
+    #: Mean gap between manager outages (0 disables); the manager unit
+    #: is held busy for :attr:`manager_outage_ns` per outage, stalling
+    #: every submission, completion and retirement queued behind it.
+    manager_outage_interval_ns: float = 0.0
+    manager_outage_ns: float = 1e6
+    manager_outage_max: int = 16
+
+    # -- Recovery knobs ----------------------------------------------------
+    #: Per-step dispatch watchdog: an accelerator step attempt that has
+    #: not completed within this budget is interrupted and retried.
+    watchdog_timeout_ns: float = 5e6
+    #: Retries per step before degrading the trace suffix to the CPU.
+    step_max_retries: int = 3
+    #: Exponential backoff between retries: base * factor^(attempt-1),
+    #: multiplied by a uniform jitter in [1-j, 1+j].
+    backoff_base_ns: float = 2e3
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    #: Circuit breaker: this many failures within the rolling window
+    #: trip an accelerator instance open for the cooldown.
+    breaker_failure_threshold: int = 5
+    breaker_window_ns: float = 5e6
+    breaker_cooldown_ns: float = 10e6
+    #: Lost remote responses re-waited before declaring a fatal timeout.
+    tcp_max_retries: int = 2
+    #: Corrupted inter-accelerator DMA transfers re-issued before the
+    #: request is failed.
+    dma_max_retries: int = 2
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault source is active (recovery knobs alone
+        never warrant installing the plane)."""
+        return (
+            self.pe_transient_rate > 0.0
+            or self.pe_wedge_rate > 0.0
+            or self.pe_stuck_mtbf_ns > 0.0
+            or self.dma_stall_rate > 0.0
+            or self.dma_corruption_rate > 0.0
+            or self.noc_flap_interval_ns > 0.0
+            or self.noc_degraded_factor > 1.0
+            or self.atm_outage_interval_ns > 0.0
+            or self.manager_outage_interval_ns > 0.0
+        )
+
+    def validate(self) -> None:
+        for name in (
+            "pe_transient_rate",
+            "pe_wedge_rate",
+            "dma_stall_rate",
+            "dma_corruption_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.noc_degraded_factor < 1.0:
+            raise ValueError(
+                f"noc_degraded_factor must be >= 1, got {self.noc_degraded_factor}"
+            )
+        if self.step_max_retries < 0 or self.tcp_max_retries < 0:
+            raise ValueError("retry budgets must be non-negative")
+        if self.watchdog_timeout_ns <= 0:
+            raise ValueError("watchdog_timeout_ns must be positive")

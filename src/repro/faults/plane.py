@@ -1,0 +1,240 @@
+"""The fault plane: deterministic, seeded fault injection in sim time.
+
+One :class:`FaultPlane` serves a whole server. Hardware components hold
+a reference and consult it inline (per-op transient/wedge/stall draws);
+window-based faults (stuck PEs, link flaps, ATM outages) are injected
+by bounded scheduler processes spawned from :meth:`attach`. Every
+category draws from its own named stream derived via
+:func:`repro.sim.derive_seed`, so enabling one fault type never
+perturbs another — or any pre-existing model stream — and experiment
+comparisons stay common-random-number aligned.
+
+Manager outages are injected by :class:`~repro.orchestration.hw_manager.
+HwManagerOrchestrator` itself (only that family has a manager); the
+plane supplies the stream and the counter so all fault accounting lives
+in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import Environment, Event, RandomStreams
+from .config import FaultConfig
+
+__all__ = ["FaultPlane"]
+
+
+class FaultPlane:
+    """Injects the faults described by a :class:`FaultConfig`."""
+
+    def __init__(
+        self,
+        env: Environment,
+        config: FaultConfig,
+        streams: RandomStreams,
+        tracer=None,
+    ):
+        config.validate()
+        self.env = env
+        self.config = config
+        self.tracer = tracer
+        self._pe_stream = streams.stream("faults/pe")
+        self._pe_sched_stream = streams.stream("faults/pe-sched")
+        self._dma_stream = streams.stream("faults/dma")
+        self._noc_stream = streams.stream("faults/noc")
+        self._atm_stream = streams.stream("faults/atm")
+        #: Used by the hw-manager orchestrator's outage injector.
+        self.manager_stream = streams.stream("faults/manager")
+
+        #: Down inter-chiplet links: (chiplet, chiplet) -> back-up gate.
+        self._down_links: Dict[Tuple[int, int], Event] = {}
+        #: ATM outage gate (None while the SRAM is reachable).
+        self._atm_gate: Optional[Event] = None
+
+        # Injection counters (surfaced through stats() and obs gauges).
+        self.pe_transients = 0
+        self.pe_wedges = 0
+        self.pe_stuck = 0
+        self.dma_stalls = 0
+        self.dma_corruptions = 0
+        self.link_flaps = 0
+        self.atm_outages = 0
+        self.manager_outages = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, hardware) -> None:
+        """Hook this plane into one server's hardware and start the
+        bounded window injectors."""
+        for accel in hardware.all_accelerators():
+            accel.fault_plane = self
+        hardware.dma.fault_plane = self
+        hardware.network.fault_plane = self
+        hardware.atm.fault_plane = self
+        config = self.config
+        if config.pe_stuck_mtbf_ns > 0:
+            self.env.process(
+                self._stuck_pe_injector(hardware), name="fault-stuck-pe"
+            )
+        if config.noc_flap_interval_ns > 0:
+            self.env.process(
+                self._link_flap_injector(hardware.network), name="fault-link-flap"
+            )
+        if config.atm_outage_interval_ns > 0:
+            self.env.process(self._atm_outage_injector(), name="fault-atm-outage")
+
+    def emit(self, name: str, args: Optional[dict] = None) -> None:
+        """Record a fault event as an instant span on the faults track."""
+        if self.tracer is not None:
+            self.tracer.instant(name, "faults", args=args)
+
+    # ------------------------------------------------------------------
+    # Per-op draws (called inline by the hardware models)
+    # ------------------------------------------------------------------
+    def pe_wedge_ns(self, accel) -> float:
+        """Extra stall this op suffers from a wedged PE (0 = none)."""
+        if self.config.pe_wedge_rate <= 0.0:
+            return 0.0
+        if not self._pe_stream.bernoulli(self.config.pe_wedge_rate):
+            return 0.0
+        self.pe_wedges += 1
+        self.emit("pe-wedge", {"accel": accel.kind.value,
+                               "ns": self.config.pe_wedge_ns})
+        return self.config.pe_wedge_ns
+
+    def pe_transient(self, accel) -> bool:
+        """True when this op's result comes out corrupted (retryable)."""
+        if self.config.pe_transient_rate <= 0.0:
+            return False
+        if not self._pe_stream.bernoulli(self.config.pe_transient_rate):
+            return False
+        self.pe_transients += 1
+        self.emit("pe-transient", {"accel": accel.kind.value})
+        return True
+
+    def dma_stall_ns(self) -> float:
+        if self.config.dma_stall_rate <= 0.0:
+            return 0.0
+        if not self._dma_stream.bernoulli(self.config.dma_stall_rate):
+            return 0.0
+        self.dma_stalls += 1
+        self.emit("dma-stall", {"ns": self.config.dma_stall_ns})
+        return self.config.dma_stall_ns
+
+    def dma_corrupts(self) -> bool:
+        if self.config.dma_corruption_rate <= 0.0:
+            return False
+        if not self._dma_stream.bernoulli(self.config.dma_corruption_rate):
+            return False
+        self.dma_corruptions += 1
+        self.emit("dma-corruption")
+        return True
+
+    # ------------------------------------------------------------------
+    # Gates (transfers wait out an active outage)
+    # ------------------------------------------------------------------
+    def link_wait(self, chip_a: int, chip_b: int):
+        """Generator: wait while the (a, b) inter-chiplet link is down."""
+        pair = (chip_a, chip_b) if chip_a < chip_b else (chip_b, chip_a)
+        while True:
+            gate = self._down_links.get(pair)
+            if gate is None:
+                return
+            yield gate
+
+    def link_factor(self) -> float:
+        """Serialization multiplier for degraded inter-chiplet links."""
+        return self.config.noc_degraded_factor
+
+    def atm_wait(self):
+        """Generator: wait while the ATM is unreachable."""
+        while self._atm_gate is not None:
+            yield self._atm_gate
+
+    # ------------------------------------------------------------------
+    # Window injectors (bounded processes)
+    # ------------------------------------------------------------------
+    def _stuck_pe_injector(self, hardware):
+        """Periodically jam a random free PE for the repair window."""
+        env = self.env
+        config = self.config
+        stream = self._pe_sched_stream
+        accels: List = hardware.all_accelerators()
+        for _ in range(config.pe_stuck_max):
+            yield env.timeout(stream.exponential(config.pe_stuck_mtbf_ns))
+            accel = accels[stream.randint(0, len(accels) - 1)]
+            pe = accel._free_pes.try_get()
+            if pe is None:
+                continue  # every PE busy: the fault window passes unnoticed
+            self.pe_stuck += 1
+            self.emit("pe-stuck", {"accel": accel.kind.value, "pe": pe.index,
+                                   "repair_ns": config.pe_repair_ns})
+            yield env.timeout(config.pe_repair_ns)
+            accel._free_pes.try_put(pe)
+
+    def _link_flap_injector(self, network):
+        """Periodically take one inter-chiplet link down for a window."""
+        env = self.env
+        config = self.config
+        stream = self._noc_stream
+        pairs = sorted(network._links)
+        if not pairs:
+            return
+        for _ in range(config.noc_flap_max):
+            yield env.timeout(stream.exponential(config.noc_flap_interval_ns))
+            pair = pairs[stream.randint(0, len(pairs) - 1)]
+            if pair in self._down_links:
+                continue
+            self.link_flaps += 1
+            self.emit("noc-flap", {"link": f"{pair[0]}-{pair[1]}",
+                                   "down_ns": config.noc_flap_down_ns})
+            gate = self.env.event()
+            self._down_links[pair] = gate
+            yield env.timeout(config.noc_flap_down_ns)
+            del self._down_links[pair]
+            gate.succeed()
+
+    def _atm_outage_injector(self):
+        """Periodically make the trace SRAM unreachable for a window."""
+        env = self.env
+        config = self.config
+        stream = self._atm_stream
+        for _ in range(config.atm_outage_max):
+            yield env.timeout(stream.exponential(config.atm_outage_interval_ns))
+            self.atm_outages += 1
+            self.emit("atm-outage", {"ns": config.atm_outage_ns})
+            gate = self.env.event()
+            self._atm_gate = gate
+            yield env.timeout(config.atm_outage_ns)
+            self._atm_gate = None
+            gate.succeed()
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def total_injected(self) -> int:
+        return (
+            self.pe_transients
+            + self.pe_wedges
+            + self.pe_stuck
+            + self.dma_stalls
+            + self.dma_corruptions
+            + self.link_flaps
+            + self.atm_outages
+            + self.manager_outages
+        )
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "pe_transients": float(self.pe_transients),
+            "pe_wedges": float(self.pe_wedges),
+            "pe_stuck": float(self.pe_stuck),
+            "dma_stalls": float(self.dma_stalls),
+            "dma_corruptions": float(self.dma_corruptions),
+            "link_flaps": float(self.link_flaps),
+            "atm_outages": float(self.atm_outages),
+            "manager_outages": float(self.manager_outages),
+            "total_injected": float(self.total_injected()),
+        }

@@ -1,0 +1,135 @@
+"""Recovery machinery: circuit breakers, backoff, and counters.
+
+One :class:`RecoveryPolicy` lives on each orchestrator that runs with a
+fault plane. It tracks per-accelerator health with rolling-window
+circuit breakers (trace building routes around tripped instances),
+computes jittered exponential backoff for step/TCP/DMA retries, and
+accumulates the recovery-side counters that ``orchestrator.stats()``
+and the obs gauges surface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim import Environment, Stream
+from .config import FaultConfig
+
+__all__ = ["CircuitBreaker", "RecoveryPolicy"]
+
+
+class CircuitBreaker:
+    """Rolling-window failure tracker for one accelerator instance.
+
+    Closed: requests flow. After ``breaker_failure_threshold`` failures
+    inside ``breaker_window_ns`` the breaker opens: :meth:`allow`
+    returns False until ``breaker_cooldown_ns`` has passed, after which
+    the breaker is half-open — trial traffic is admitted, one success
+    closes it, and a failed trial restarts the cooldown.
+    """
+
+    __slots__ = ("config", "failures", "opened_at")
+
+    def __init__(self, config: FaultConfig):
+        self.config = config
+        self.failures: List[float] = []
+        self.opened_at: Optional[float] = None
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened_at is not None
+
+    def allow(self, now: float) -> bool:
+        if self.opened_at is None:
+            return True
+        return now - self.opened_at >= self.config.breaker_cooldown_ns
+
+    def record_failure(self, now: float) -> bool:
+        """Register a failure; returns True when this trips the breaker."""
+        window = self.config.breaker_window_ns
+        self.failures = [t for t in self.failures if now - t <= window]
+        self.failures.append(now)
+        if self.opened_at is not None:
+            if now - self.opened_at >= self.config.breaker_cooldown_ns:
+                # Failed half-open trial: restart the cooldown.
+                self.opened_at = now
+                return True
+            return False
+        if len(self.failures) >= self.config.breaker_failure_threshold:
+            self.opened_at = now
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.failures.clear()
+        self.opened_at = None
+
+
+class RecoveryPolicy:
+    """Watchdog/retry/breaker state for one orchestrator."""
+
+    def __init__(self, env: Environment, config: FaultConfig, stream: Stream):
+        self.env = env
+        self.config = config
+        self.stream = stream
+        self._breakers: Dict[int, CircuitBreaker] = {}
+
+        # Recovery counters.
+        self.watchdog_timeouts = 0
+        self.step_retries = 0
+        self.breaker_trips = 0
+        self.degraded_to_cpu = 0
+        self.dma_retries = 0
+        self.dma_fatal = 0
+
+    # ------------------------------------------------------------------
+    # Accelerator health
+    # ------------------------------------------------------------------
+    def breaker(self, accel) -> CircuitBreaker:
+        key = id(accel)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config)
+            self._breakers[key] = breaker
+        return breaker
+
+    def pick(self, instances, now: float):
+        """The least-occupied healthy instance, or None if all tripped."""
+        healthy = [a for a in instances if self.breaker(a).allow(now)]
+        if not healthy:
+            return None
+        return min(healthy, key=lambda a: a.input_occupancy)
+
+    def record_failure(self, accel) -> None:
+        if self.breaker(accel).record_failure(self.env.now):
+            self.breaker_trips += 1
+
+    def record_success(self, accel) -> None:
+        self.breaker(accel).record_success()
+
+    def open_breakers(self) -> int:
+        return sum(1 for b in self._breakers.values() if b.is_open)
+
+    # ------------------------------------------------------------------
+    # Backoff
+    # ------------------------------------------------------------------
+    def backoff_ns(self, attempt: int) -> float:
+        """Jittered exponential backoff before retry ``attempt`` (1-based)."""
+        config = self.config
+        base = config.backoff_base_ns * config.backoff_factor ** max(attempt - 1, 0)
+        jitter = 1.0 + config.backoff_jitter * (2.0 * self.stream.random() - 1.0)
+        return base * max(jitter, 0.0)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        return {
+            "watchdog_timeouts": float(self.watchdog_timeouts),
+            "step_retries": float(self.step_retries),
+            "breaker_trips": float(self.breaker_trips),
+            "open_breakers": float(self.open_breakers()),
+            "degraded_to_cpu": float(self.degraded_to_cpu),
+            "dma_retries": float(self.dma_retries),
+            "dma_fatal": float(self.dma_fatal),
+        }

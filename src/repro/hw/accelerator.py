@@ -85,6 +85,10 @@ class Accelerator:
         #: request id in ``context["obs_rid"]``.
         self.tracer = tracer
         self.track = f"accel:{kind.value}"
+        #: Optional :class:`repro.faults.FaultPlane`; installed by
+        #: ``FaultPlane.attach``. When None (the default) no fault draws
+        #: happen and execution is byte-identical to the fault-free model.
+        self.fault_plane = None
 
         if policy == QueuePolicy.FIFO:
             self.input_queue: Store = Store(
@@ -212,7 +216,20 @@ class Accelerator:
                 yield env.timeout(self.accel_params.scratchpad_wipe_ns)
             pe.last_tenant = entry.tenant
             yield env.process(self.tlb.translate())
+            plane = self.fault_plane
+            if plane is not None:
+                # A wedged PE sits on the op before making progress; the
+                # orchestrator-side watchdog decides whether to wait it
+                # out or abandon the attempt and retry elsewhere.
+                wedge_ns = plane.pe_wedge_ns(self)
+                if wedge_ns > 0.0:
+                    yield env.timeout(wedge_ns)
             yield env.timeout(entry.op.accel_time_ns(self.speedup))
+            if plane is not None and plane.pe_transient(self):
+                # Transient fault: the result is corrupt but the entry
+                # still flows through the output queue; the recovery
+                # layer inspects the flag and re-executes the step.
+                entry.context["fault"] = "pe-transient"
             # Deposit the result into the output queue (blocks on a full
             # queue: backpressure reaches the PE, which is non-preemptible
             # but cannot retire).

@@ -38,20 +38,34 @@ class DmaPool:
         #: Optional :class:`repro.obs.SpanTracer`; transfers on behalf
         #: of a sampled request (``obs_rid`` passed) record "dma" spans.
         self.tracer = tracer
+        #: Optional :class:`repro.faults.FaultPlane` (None = fault-free).
+        self.fault_plane = None
 
     @property
     def in_use(self) -> int:
         return self._pool.count
 
     def transfer(self, src: Endpoint, dst: Endpoint, nbytes: int, obs_rid=None):
-        """Process: move ``nbytes`` using one engine (waits if all busy)."""
+        """Process: move ``nbytes`` using one engine (waits if all busy).
+
+        Returns True on success, False when the fault plane corrupted
+        the payload (callers that care re-issue the transfer; callers
+        that ignore the value model undetected corruption).
+        """
         env = self.env
         requested = env.now
+        corrupted = False
         with self._pool.request() as req:
             yield req
             start = env.now
             self._busy.add(1.0, start)
             try:
+                plane = self.fault_plane
+                if plane is not None:
+                    stall_ns = plane.dma_stall_ns()
+                    if stall_ns > 0.0:
+                        yield env.timeout(stall_ns)
+                    corrupted = plane.dma_corrupts()
                 yield env.timeout(self.PROGRAM_NS)
                 yield env.process(self.network.transfer(src, dst, nbytes))
             finally:
@@ -71,6 +85,7 @@ class DmaPool:
                 cat="dma",
                 args={"bytes": nbytes, "engine_wait_ns": start - requested},
             )
+        return not corrupted
 
     def estimate_ns(self, src: Endpoint, dst: Endpoint, nbytes: int) -> float:
         return self.PROGRAM_NS + self.network.estimate_ns(src, dst, nbytes)

@@ -51,6 +51,10 @@ class Network:
         self.inter_chiplet_transfers = 0
         self.intra_chiplet_transfers = 0
         self._busy = TimeWeightedValue(0.0, env.now)
+        #: Optional :class:`repro.faults.FaultPlane` (None = fault-free):
+        #: supplies link-down gates and the degradation factor for
+        #: inter-chiplet legs.
+        self.fault_plane = None
         self._meshes = None
         if self.noc.detailed_mesh:
             from .mesh import build_chiplet_meshes
@@ -132,12 +136,20 @@ class Network:
                 self.intra_chiplet_transfers += 1
                 return
             self.inter_chiplet_transfers += 1
+            plane = self.fault_plane
+            if plane is not None:
+                # Flapped link: wait until it comes back before competing
+                # for it; degraded links stretch the whole leg.
+                yield from plane.link_wait(src_chip, dst_chip)
             with self._link(src_chip, dst_chip).request() as link_req:
                 yield link_req
-                yield env.timeout(
+                leg_ns = (
                     self.noc.inter_chiplet_latency_ns(self.ghz)
                     + self.noc.inter_chiplet_serialization_ns(nbytes)
                 )
+                if plane is not None:
+                    leg_ns *= plane.link_factor()
+                yield env.timeout(leg_ns)
             with self._fabrics[dst_chip].request() as fabric_req:
                 yield fabric_req
                 yield env.timeout(

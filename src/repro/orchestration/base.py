@@ -29,7 +29,7 @@ from ..hw.noc import CPU_ENDPOINT
 from ..hw.ops import QueueEntry
 from ..hw.params import AcceleratorKind
 from ..workloads.request import Buckets, Request
-from ..sim import Environment, RandomStreams
+from ..sim import Environment, Interrupt, RandomStreams
 from ..workloads.calibration import OrchestrationCosts, RemoteLatencies
 from ..workloads.costs import CostModel
 from ..workloads.spec import CpuSegment, ParallelInvocations, TraceInvocation
@@ -86,6 +86,7 @@ class Orchestrator:
         orch_costs: Optional[OrchestrationCosts] = None,
         remotes: Optional[RemoteLatencies] = None,
         tracer=None,
+        fault_plane=None,
     ):
         self.env = env
         self.hardware = hardware
@@ -100,8 +101,25 @@ class Orchestrator:
         self.glue = GlueCostModel(hardware.params.cpu.ghz)
         self.tenants = TenantManager(hardware.params.tenant_trace_limit)
         self._remote_stream = streams.stream(f"remote/{self.name}")
+        #: Optional :class:`repro.faults.FaultPlane`. When present, the
+        #: dispatch path runs under watchdog timeouts with bounded retry
+        #: and circuit-breaker health tracking; when None (default) every
+        #: code path and every RNG draw matches the fault-free simulator.
+        self.fault_plane = fault_plane
+        self.recovery = None
+        if fault_plane is not None:
+            from ..faults.recovery import RecoveryPolicy
+
+            self.recovery = RecoveryPolicy(
+                env, fault_plane.config,
+                streams.stream(f"faults/recovery/{self.name}"),
+            )
         self.fallbacks = 0
         self.tcp_timeouts = 0
+        #: Requests that lost at least one remote response but recovered
+        #: through a retried wait (vs. tcp_timeouts: fatal, request
+        #: errored out). Satellite accounting split.
+        self.tcp_recovered = 0
         self.chains_executed = 0
         self._tenant_waiters: Dict[int, List] = {}
 
@@ -204,16 +222,30 @@ class Orchestrator:
         )
 
     def _wait_remote(self, request: Request, next_name: str) -> bool:
-        """Wait for the remote response; False on TCP timeout."""
+        """Wait for the remote response; False on fatal TCP timeout.
+
+        With recovery installed, a lost response is re-waited up to
+        ``tcp_max_retries`` times with jittered backoff (counted in
+        ``tcp_recovered`` when a retry eventually lands); without it, the
+        first loss is fatal, exactly as in the fault-free simulator.
+        """
         env = self.env
-        if self._remote_stream.bernoulli(self.remotes.loss_probability):
+        recovery = self.recovery
+        attempts = 0
+        while self._remote_stream.bernoulli(self.remotes.loss_probability):
             # The response never arrives: the TCP input-queue entry times
             # out and the core is notified (Section IV-B).
             yield env.timeout(self.costs.tcp_response_timeout_ns)
-            request.timed_out = True
-            request.error = True
-            self.tcp_timeouts += 1
-            return False
+            if recovery is None or attempts >= recovery.config.tcp_max_retries:
+                request.timed_out = True
+                request.error = True
+                self.tcp_timeouts += 1
+                return False
+            attempts += 1
+            request.tcp_retries += 1
+            yield env.timeout(recovery.backoff_ns(attempts))
+        if attempts:
+            self.tcp_recovered += 1
         dependency = REMOTE_DEPENDENCY_OF_TRACE.get(next_name, "nested_rpc")
         median = getattr(self.remotes, f"{dependency}_ns")
         median *= REMOTE_ARCHITECTURE_SCALE.get(self.name, 1.0)
@@ -267,6 +299,11 @@ class Orchestrator:
                 # The output dispatcher has moved the entry onward: free
                 # its output-queue slot (unblocks a backpressured PE).
                 entry.context["accel"].consume_output(entry)
+                if self.recovery is not None and request.error:
+                    # A fatally corrupted hand-off already failed the
+                    # request; executing the rest of the trace would only
+                    # burn simulated hardware on a dead request.
+                    return StepOutcome.OK
         finally:
             self._release_tenant_slot(request.tenant)
         # Parallel fan-out: arms start once the forking step is done
@@ -313,7 +350,9 @@ class Orchestrator:
             )
         )
         request.add(Buckets.CPU, duration_ns)
-        request.add(Buckets.QUEUE, env.now - start - duration_ns)
+        # max(): float cancellation in now - start - duration can land
+        # an idle wait a few ulps below zero.
+        request.add(Buckets.QUEUE, max(env.now - start - duration_ns, 0.0))
         rid = self._obs_rid(request)
         if rid is not None:
             self.tracer.complete(
@@ -333,8 +372,19 @@ class Orchestrator:
     def _acquire_tenant_slot(self, tenant: int):
         while not self.tenants.try_start(tenant):
             gate = self.env.event()
-            self._tenant_waiters.setdefault(tenant, []).append(gate)
-            yield gate
+            waiters = self._tenant_waiters.setdefault(tenant, [])
+            waiters.append(gate)
+            try:
+                yield gate
+            except Interrupt:
+                # Torn down while throttled (machine failure, watchdog
+                # cascade): never swallow a slot-freed wakeup.
+                if gate.triggered:
+                    if waiters:
+                        waiters.pop(0).succeed()
+                else:
+                    waiters.remove(gate)
+                raise
 
     def _release_tenant_slot(self, tenant: int) -> None:
         self.tenants.end(tenant)
@@ -354,10 +404,19 @@ class Orchestrator:
     def run_step(self, request: Request, step: ResolvedStep):
         """Admit one operation and wait for its PE to finish.
 
-        Returns the completed :class:`QueueEntry`, or None when the
-        accelerator (queue + overflow) is full after retries and the
-        trace must fall back to the CPU.
+        Returns the completed :class:`QueueEntry`, or None when the step
+        could not run on hardware (accelerator full after retries; with
+        recovery: retry budget exhausted or every instance breaker-open)
+        and the trace must fall back to the CPU.
         """
+        if self.recovery is not None:
+            entry = yield from self._run_step_recovered(request, step)
+            return entry
+        entry = yield from self._run_step_once(request, step)
+        return entry
+
+    def _run_step_once(self, request: Request, step: ResolvedStep):
+        """The fault-free dispatch path (identical to the seed model)."""
         env = self.env
         op = self.cost_model.op_for(request.spec, step.kind, request.wire_size)
         entry = QueueEntry(
@@ -392,6 +451,161 @@ class Orchestrator:
         request.add(Buckets.ORCHESTRATION, retire_ns)
         return entry
 
+    # ------------------------------------------------------------------
+    # Recovered dispatch (watchdog + retry/backoff + circuit breakers)
+    # ------------------------------------------------------------------
+    def _pick_accel(self, kind):
+        """Healthiest least-occupied instance; None if all tripped."""
+        recovery = self.recovery
+        if recovery is None:
+            return self.hardware.accel(kind)
+        return recovery.pick(self.hardware.instances[kind], self.env.now)
+
+    def _run_step_recovered(self, request: Request, step: ResolvedStep):
+        """Run one step under a watchdog with bounded backoff retries.
+
+        Each attempt executes in a child process so the watchdog can
+        interrupt it cleanly; a returned None degrades the remaining
+        trace suffix to the CPU through the caller's fallback path.
+        """
+        env = self.env
+        recovery = self.recovery
+        config = recovery.config
+        attempts = 0
+        while True:
+            attempt_start = env.now
+            box: Dict[str, object] = {}
+            attempt = env.process(
+                self._step_attempt(request, step, box),
+                name=f"step-{request.rid}-{step.kind.value}",
+            )
+            watchdog = env.timeout(config.watchdog_timeout_ns)
+            try:
+                yield env.any_of([attempt, watchdog])
+            except Interrupt:
+                # Our own process is being torn down (e.g. a machine
+                # failure): unwind the attempt before propagating.
+                if attempt.is_alive:
+                    attempt.interrupt("parent-interrupted")
+                    yield attempt
+                raise
+            if attempt.is_alive:
+                recovery.watchdog_timeouts += 1
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "watchdog-timeout", "faults",
+                        args={"step": step.kind.value, "rid": request.rid},
+                    )
+                attempt.interrupt("watchdog")
+                yield attempt  # lets the attempt abandon its entry
+            entry = box.get("entry")
+            if entry is not None:
+                recovery.record_success(box["accel"])
+                return entry
+            # Time burned by the failed attempt reads as queueing delay.
+            request.add(Buckets.QUEUE, env.now - attempt_start)
+            if box.get("fatal"):
+                # Full queues / all-breakers-open: immediate CPU fallback
+                # (capacity exhaustion is not an instance-health signal).
+                return None
+            accel = box.get("accel")
+            if accel is not None:
+                recovery.record_failure(accel)
+            attempts += 1
+            if attempts > config.step_max_retries:
+                recovery.degraded_to_cpu += 1
+                self.fallbacks += 1
+                request.fell_back = True
+                return None
+            recovery.step_retries += 1
+            request.step_retries += 1
+            backoff = recovery.backoff_ns(attempts)
+            yield env.timeout(backoff)
+            request.add(Buckets.QUEUE, backoff)
+
+    def _step_attempt(self, request: Request, step: ResolvedStep, box: Dict):
+        """Process: one dispatch attempt; results travel via ``box``.
+
+        Keys: "accel" (instance tried), "entry" (completed, fault-free),
+        "fault" (why it failed), "fatal" (no point retrying).
+        """
+        env = self.env
+        op = self.cost_model.op_for(request.spec, step.kind, request.wire_size)
+        entry = QueueEntry(
+            env,
+            op,
+            tenant=request.tenant,
+            priority=request.priority,
+            deadline_ns=request.slo_deadline_ns,
+        )
+        rid = self._obs_rid(request)
+        if rid is not None:
+            entry.context["obs_rid"] = rid
+        accel = self._pick_accel(step.kind)
+        if accel is None:
+            # Every instance of the kind is breaker-open: degrade.
+            box["fault"] = "breaker-open"
+            box["fatal"] = True
+            self.fallbacks += 1
+            request.fell_back = True
+            return
+        box["accel"] = accel
+        try:
+            retries = 0
+            while not accel.try_enqueue(entry):
+                retries += 1
+                if retries > self.hardware.params.cpu.enqueue_max_retries:
+                    self.fallbacks += 1
+                    request.fell_back = True
+                    box["fault"] = "queue-full"
+                    box["fatal"] = True
+                    return
+                yield env.timeout(200.0)
+                accel = self._pick_accel(step.kind)
+                if accel is None:
+                    box["fault"] = "breaker-open"
+                    box["fatal"] = True
+                    self.fallbacks += 1
+                    request.fell_back = True
+                    return
+                box["accel"] = accel
+            entry.context["accel"] = accel
+            yield entry.done
+        except Interrupt:
+            # Watchdog (or teardown): the entry may still be queued or
+            # executing; make sure its eventual output slot is freed.
+            self._abandon_entry(accel, entry)
+            box["fault"] = "watchdog"
+            return
+        fault = entry.context.get("fault")
+        if fault is not None:
+            # Corrupted result: retire it and report the fault upward.
+            accel.consume_output(entry)
+            box["fault"] = fault
+            return
+        request.add(Buckets.QUEUE, entry.queue_wait_ns)
+        retire_ns = entry.context.get("retire_ns", 0.0)
+        request.add(Buckets.ACCEL, entry.service_ns - retire_ns)
+        request.add(Buckets.ORCHESTRATION, retire_ns)
+        box["entry"] = entry
+
+    @staticmethod
+    def _abandon_entry(accel, entry: QueueEntry) -> None:
+        """Free an abandoned entry's output slot, now or on completion.
+
+        The accelerator will still execute a queued entry we gave up on
+        (the work was already admitted); what must not leak is its
+        output-queue slot, which would otherwise backpressure a PE
+        forever.
+        """
+        done = entry.done
+        if done.callbacks is None:
+            accel.consume_output(entry)
+        else:
+            done.callbacks.append(
+                lambda _event, a=accel, e=entry: a.consume_output(e)
+            )
+
     def after_step(
         self,
         request: Request,
@@ -418,15 +632,38 @@ class Orchestrator:
     # ------------------------------------------------------------------
     # Shared cost helpers
     # ------------------------------------------------------------------
+    def _dma_with_retry(self, request: Request, src, dst, nbytes: int, rid=None):
+        """Generator: one DMA leg, re-issuing corrupted transfers.
+
+        Without recovery this is a single transfer (corruption cannot be
+        injected then). With recovery, corrupted transfers are re-issued
+        with backoff up to ``dma_max_retries``; exhaustion fails the
+        request with a sane error status.
+        """
+        env = self.env
+        recovery = self.recovery
+        attempt = 0
+        while True:
+            ok = yield env.process(
+                self.hardware.dma.transfer(src, dst, nbytes, obs_rid=rid)
+            )
+            if ok or recovery is None:
+                return ok
+            attempt += 1
+            if attempt > recovery.config.dma_max_retries:
+                recovery.dma_fatal += 1
+                request.error = True
+                return False
+            recovery.dma_retries += 1
+            yield env.timeout(recovery.backoff_ns(attempt))
+
     def dma_to_next(self, request: Request, step: ResolvedStep, entry: QueueEntry,
                     next_step: ResolvedStep):
         """Move the output payload into the next accelerator's queue."""
         start = self.env.now
-        yield self.env.process(
-            self.hardware.dma.transfer(
-                step.kind, next_step.kind, entry.op.data_out,
-                obs_rid=self._obs_rid(request),
-            )
+        yield from self._dma_with_retry(
+            request, step.kind, next_step.kind, entry.op.data_out,
+            rid=self._obs_rid(request),
         )
         request.add(Buckets.COMMUNICATION, self.env.now - start)
 
@@ -435,10 +672,8 @@ class Orchestrator:
         env = self.env
         start = env.now
         rid = self._obs_rid(request)
-        yield env.process(
-            self.hardware.dma.transfer(
-                step.kind, CPU_ENDPOINT, entry.op.data_out, obs_rid=rid
-            )
+        yield from self._dma_with_retry(
+            request, step.kind, CPU_ENDPOINT, entry.op.data_out, rid=rid
         )
         notify_start = env.now
         notify_ns = self.hardware.cores.notification_ns()
@@ -456,10 +691,14 @@ class Orchestrator:
             )
 
     def stats(self) -> Dict[str, float]:
-        return {
+        stats = {
             "fallbacks": float(self.fallbacks),
             "tcp_timeouts": float(self.tcp_timeouts),
+            "tcp_recovered": float(self.tcp_recovered),
             "chains_executed": float(self.chains_executed),
             "glue": self.glue.stats(),
             "tenants": self.tenants.stats(),
         }
+        if self.recovery is not None:
+            stats["recovery"] = self.recovery.stats()
+        return stats

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..faults import FaultConfig
 from ..hw.accelerator import QueuePolicy
 from ..hw.params import MachineParams
 from ..obs import ObsConfig
@@ -79,6 +80,9 @@ class RunConfig:
     #: its own session to this config; use colocated or single-service
     #: runs for one consolidated trace.
     obs: Optional[ObsConfig] = None
+    #: Fault injection + recovery knobs (None or all-zero rates = the
+    #: fault-free simulator, bit for bit).
+    faults: Optional[FaultConfig] = None
 
 
 def _make_server(config: RunConfig, seed_offset: int = 0) -> SimulatedServer:
@@ -92,6 +96,7 @@ def _make_server(config: RunConfig, seed_offset: int = 0) -> SimulatedServer:
         remotes=config.remotes,
         branch_probs=config.branch_probs,
         obs=config.obs,
+        faults=config.faults,
     )
 
 

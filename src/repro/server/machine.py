@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..core.registry import TraceRegistry
+from ..faults import FaultConfig, FaultPlane
 from ..hw.accelerator import QueuePolicy
 from ..hw.ensemble import ServerHardware
 from ..hw.params import MachineParams
@@ -44,6 +45,7 @@ class SimulatedServer:
         branch_probs: Optional[BranchProbabilities] = None,
         obs: Optional[ObsConfig] = None,
         env: Optional[Environment] = None,
+        faults: Optional[FaultConfig] = None,
     ):
         self.architecture = architecture
         self.params = machine_params or MachineParams()
@@ -81,6 +83,15 @@ class SimulatedServer:
             queue_policy=queue_policy,
             tracer=self.tracer,
         )
+        #: The fault plane is only instantiated when the config actually
+        #: injects something; with zero rates (or faults=None) every code
+        #: path and RNG draw matches the fault-free simulator exactly.
+        self.fault_plane: Optional[FaultPlane] = None
+        if faults is not None and faults.enabled:
+            self.fault_plane = FaultPlane(
+                self.env, faults, self.streams, tracer=self.tracer
+            )
+            self.fault_plane.attach(self.hardware)
         self.cost_model = CostModel(self.registry, generation=self.params.generation)
         self.orchestrator = make_orchestrator(
             architecture,
@@ -92,6 +103,7 @@ class SimulatedServer:
             orch_costs=orch_costs,
             remotes=remotes,
             tracer=self.tracer,
+            fault_plane=self.fault_plane,
         )
         self.branch_probs = branch_probs or BranchProbabilities()
         self._field_stream = self.streams.stream("fields")
@@ -119,6 +131,25 @@ class SimulatedServer:
                 f"util:{kind.value}",
                 lambda k=kind: self.hardware.busy_pe_fraction(k),
             )
+        plane = self.fault_plane
+        if plane is not None:
+            registry.gauge(
+                "faults:injected", lambda p=plane: float(p.total_injected())
+            )
+            recovery = self.orchestrator.recovery
+            if recovery is not None:
+                registry.gauge(
+                    "faults:watchdog_timeouts",
+                    lambda r=recovery: float(r.watchdog_timeouts),
+                )
+                registry.gauge(
+                    "faults:open_breakers",
+                    lambda r=recovery: float(r.open_breakers()),
+                )
+                registry.gauge(
+                    "faults:degraded_to_cpu",
+                    lambda r=recovery: float(r.degraded_to_cpu),
+                )
 
     def _payload_model(self, spec: ServiceSpec) -> PayloadModel:
         model = self._payload_models.get(spec.name)

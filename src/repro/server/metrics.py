@@ -23,6 +23,10 @@ class ServiceResult:
         self.censored = 0  # still in flight at the horizon
         self.errors = 0
         self.timeouts = 0
+        #: Requests that lost at least one remote response but recovered
+        #: through retried waits (disjoint from ``timeouts``, which are
+        #: the fatal ones).
+        self.recovered_timeouts = 0
         self.fallback_requests = 0
         self.component_sums: Dict[str, float] = {b: 0.0 for b in Buckets.ALL}
 
@@ -33,6 +37,8 @@ class ServiceResult:
             self.errors += 1
         if request.timed_out:
             self.timeouts += 1
+        elif request.tcp_retries > 0:
+            self.recovered_timeouts += 1
         if request.fell_back:
             self.fallback_requests += 1
         for bucket, value in request.components.items():

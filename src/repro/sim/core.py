@@ -235,15 +235,25 @@ class Process(Event):
 
         The process stops waiting for its current target event and instead
         sees ``Interrupt(cause)`` raised at its current yield point.
+
+        Interrupting a process that has already terminated, or one whose
+        previous interrupt has not been delivered yet, is a safe no-op:
+        fault-recovery watchdogs and cluster rerouting both race against
+        normal completion, and the loser of that race must not blow up
+        the simulation (nor double-deliver).
         """
         if not self.is_alive:
-            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+            return
         if self is self.env.active_process:
             raise SimulationError("A process is not allowed to interrupt itself")
+        if self._target is None:
+            # An interrupt is already in flight (the target was detached
+            # and the Interrupt event scheduled): collapse duplicates.
+            return
         interrupt_event = Event(self.env)
         interrupt_event._value = _Failure(Interrupt(cause))
         interrupt_event._defused = True
-        interrupt_event.callbacks = [self._resume]
+        interrupt_event.callbacks = [self._deliver_interrupt]
         self.env._schedule(interrupt_event, URGENT, 0.0)
         # Stop listening on the old target (if it is still pending).
         target = self._target
@@ -252,7 +262,22 @@ class Process(Event):
                 target.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            if not target.callbacks:
+                # Nobody is waiting on the target anymore: withdraw it
+                # from whatever queue it sits in (store/resource waiter
+                # lists) so an interrupted process cannot swallow a slot
+                # or an item meant for a live waiter.
+                cancel = getattr(target, "cancel", None)
+                if cancel is not None:
+                    cancel()
         self._target = None
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        """Deliver a scheduled interrupt unless the process already died
+        (e.g. it completed at the same timestamp the interrupt fired)."""
+        if not self.is_alive:
+            return
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the value of ``event``."""
@@ -458,15 +483,42 @@ class Environment:
     Pass ``profile=True`` (or call :meth:`enable_profiling`) to collect
     kernel statistics in :attr:`profile`; disabled profiling costs one
     ``is None`` check per :meth:`step`.
+
+    **Runaway guard** (opt-in): ``max_events`` bounds the total number
+    of events processed by :meth:`run` across the environment's life,
+    and ``max_wall_s`` bounds the wall-clock time of a single
+    :meth:`run` call. Exceeding either raises :class:`SimulationError`
+    instead of spinning forever — a hung fault-injection scenario fails
+    fast instead of wedging CI. The class attributes
+    :attr:`default_max_events` / :attr:`default_max_wall_s` set the
+    default for newly created environments (the test suite turns them
+    on globally); both default to ``None`` (off, zero overhead).
     """
 
-    def __init__(self, initial_time: float = 0.0, profile: bool = False):
+    #: Class-wide defaults for the runaway guard (None = disabled).
+    default_max_events: Optional[int] = None
+    default_max_wall_s: Optional[float] = None
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        profile: bool = False,
+        max_events: Optional[int] = None,
+        max_wall_s: Optional[float] = None,
+    ):
         self._now = float(initial_time)
         self._queue: List[tuple] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
         #: The :class:`KernelProfile`, or None when profiling is off.
         self.profile: Optional[KernelProfile] = KernelProfile() if profile else None
+        self.max_events = (
+            max_events if max_events is not None else type(self).default_max_events
+        )
+        self.max_wall_s = (
+            max_wall_s if max_wall_s is not None else type(self).default_max_wall_s
+        )
+        self._events_processed = 0
 
     def enable_profiling(self) -> KernelProfile:
         """Turn on kernel profiling (keeps existing data if already on)."""
@@ -540,9 +592,35 @@ class Environment:
                     raise ValueError(
                         f"until ({stop_at}) must not be before now ({self._now})"
                     )
+        max_events = self.max_events
+        deadline = (
+            perf_counter() + self.max_wall_s if self.max_wall_s is not None else None
+        )
         try:
-            while self._queue and self._queue[0][0] <= stop_at:
-                self.step()
+            if max_events is None and deadline is None:
+                while self._queue and self._queue[0][0] <= stop_at:
+                    self.step()
+            else:
+                while self._queue and self._queue[0][0] <= stop_at:
+                    self.step()
+                    self._events_processed += 1
+                    if max_events is not None and self._events_processed > max_events:
+                        raise SimulationError(
+                            f"runaway guard: more than {max_events} events "
+                            f"processed (sim time {self._now:.0f})"
+                        )
+                    # Wall-clock checks are amortized: one perf_counter()
+                    # call every 4096 events.
+                    if (
+                        deadline is not None
+                        and self._events_processed % 4096 == 0
+                        and perf_counter() > deadline
+                    ):
+                        raise SimulationError(
+                            f"runaway guard: run() exceeded {self.max_wall_s}s "
+                            f"wall clock (sim time {self._now:.0f}, "
+                            f"{self._events_processed} events)"
+                        )
         except StopSimulation as stop:
             return stop.value
         if stop_at != float("inf"):

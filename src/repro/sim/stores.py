@@ -19,25 +19,56 @@ __all__ = ["Store", "PriorityStore", "FilterStore", "PriorityItem"]
 class StorePut(Event):
     """Pending put: triggers when the item has been accepted."""
 
-    __slots__ = ("item",)
+    __slots__ = ("item", "store")
 
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.env)
         self.item = item
+        self.store = store
         store._put_waiters.append(self)
         store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw the pending put (no-op once the item was accepted).
+
+        Called by :meth:`repro.sim.Process.interrupt` when the waiting
+        process is torn down, so an abandoned put never lands later.
+        """
+        if not self.triggered:
+            try:
+                self.store._put_waiters.remove(self)
+            except ValueError:
+                pass
 
 
 class StoreGet(Event):
     """Pending get: triggers with the retrieved item."""
 
-    __slots__ = ("filter",)
+    __slots__ = ("filter", "store")
 
     def __init__(self, store: "Store", filter: Callable[[Any], bool] = None):
         super().__init__(store.env)
         self.filter = filter
+        self.store = store
         store._get_waiters.append(self)
         store._dispatch()
+
+    def cancel(self) -> None:
+        """Withdraw the pending get; return an already-granted item.
+
+        If the get was already served but its value never consumed (the
+        waiter was interrupted in the same instant), the item is pushed
+        back so capacity-token stores (e.g. the RELIEF admission queue)
+        do not leak slots.
+        """
+        if not self.triggered:
+            try:
+                self.store._get_waiters.remove(self)
+            except ValueError:
+                pass
+        elif self.ok:
+            self.store._insert(self.value)
+            self.store._dispatch()
 
 
 class Store:

@@ -46,6 +46,8 @@ class Request:
         "error",
         "timed_out",
         "fell_back",
+        "tcp_retries",
+        "step_retries",
         "slo_deadline_ns",
         "components",
         "accelerator_ops",
@@ -74,6 +76,10 @@ class Request:
         self.error = False
         self.timed_out = False
         self.fell_back = False
+        #: Remote waits retried after a lost response (recovery plane).
+        self.tcp_retries = 0
+        #: Accelerator step attempts retried after a fault or watchdog.
+        self.step_retries = 0
         #: Absolute soft deadline when the run enforces SLOs (EDF).
         self.slo_deadline_ns: Optional[float] = None
         self.components: Dict[str, float] = {bucket: 0.0 for bucket in Buckets.ALL}

@@ -1,0 +1,28 @@
+"""Suite-wide runaway guard.
+
+Every :class:`~repro.sim.Environment` a test creates is bounded in both
+event count and wall-clock time, so an accidental infinite event loop
+(a regression in the kernel, a fault injector that never drains, a
+recovery retry cycle) fails fast with a readable
+:class:`~repro.sim.SimulationError` instead of hanging CI.
+"""
+
+import pytest
+
+from repro.sim import Environment
+
+#: Far above any legitimate test run (the heaviest golden experiment
+#: processes a few million events), far below "hung forever".
+GUARD_MAX_EVENTS = 20_000_000
+GUARD_MAX_WALL_S = 120.0
+
+
+@pytest.fixture(autouse=True)
+def _runaway_guard():
+    saved = (Environment.default_max_events, Environment.default_max_wall_s)
+    Environment.default_max_events = GUARD_MAX_EVENTS
+    Environment.default_max_wall_s = GUARD_MAX_WALL_S
+    try:
+        yield
+    finally:
+        Environment.default_max_events, Environment.default_max_wall_s = saved

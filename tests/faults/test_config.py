@@ -1,0 +1,60 @@
+"""FaultConfig: the zero config is inert, bad knobs are rejected."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultConfig
+
+
+def test_default_config_is_disabled():
+    assert not FaultConfig().enabled
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("pe_transient_rate", 0.1),
+        ("pe_wedge_rate", 0.01),
+        ("pe_stuck_mtbf_ns", 1e6),
+        ("dma_stall_rate", 0.2),
+        ("dma_corruption_rate", 0.01),
+        ("noc_flap_interval_ns", 1e6),
+        ("noc_degraded_factor", 1.5),
+        ("atm_outage_interval_ns", 1e6),
+        ("manager_outage_interval_ns", 1e6),
+    ],
+)
+def test_any_fault_source_enables(field, value):
+    assert dataclasses.replace(FaultConfig(), **{field: value}).enabled
+
+
+def test_recovery_knobs_alone_do_not_enable():
+    config = FaultConfig(
+        watchdog_timeout_ns=1e5, step_max_retries=7, tcp_max_retries=5
+    )
+    assert not config.enabled
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("pe_transient_rate", -0.1),
+        ("pe_transient_rate", 1.5),
+        ("pe_wedge_rate", 2.0),
+        ("dma_stall_rate", -1.0),
+        ("dma_corruption_rate", 7.0),
+        ("noc_degraded_factor", 0.5),
+        ("step_max_retries", -1),
+        ("tcp_max_retries", -2),
+        ("watchdog_timeout_ns", 0.0),
+    ],
+)
+def test_validate_rejects_bad_knobs(field, value):
+    config = dataclasses.replace(FaultConfig(), **{field: value})
+    with pytest.raises(ValueError):
+        config.validate()
+
+
+def test_default_config_validates():
+    FaultConfig().validate()

@@ -1,0 +1,133 @@
+"""CircuitBreaker and RecoveryPolicy unit behavior."""
+
+from repro.faults import CircuitBreaker, FaultConfig, RecoveryPolicy
+from repro.sim import Environment, RandomStreams
+
+CONFIG = FaultConfig(
+    breaker_failure_threshold=3,
+    breaker_window_ns=1e6,
+    breaker_cooldown_ns=5e6,
+)
+
+
+def _policy(config=CONFIG, seed=0):
+    env = Environment()
+    streams = RandomStreams(seed)
+    return RecoveryPolicy(env, config, streams.stream("faults/recovery/test"))
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker(CONFIG)
+        assert not breaker.is_open
+        assert breaker.allow(0.0)
+
+    def test_trips_at_threshold_within_window(self):
+        breaker = CircuitBreaker(CONFIG)
+        assert not breaker.record_failure(0.0)
+        assert not breaker.record_failure(100.0)
+        assert breaker.record_failure(200.0)  # third inside the window
+        assert breaker.is_open
+        assert not breaker.allow(300.0)
+
+    def test_old_failures_age_out_of_window(self):
+        breaker = CircuitBreaker(CONFIG)
+        breaker.record_failure(0.0)
+        breaker.record_failure(100.0)
+        # Third failure arrives after the first two left the window.
+        assert not breaker.record_failure(5e6)
+        assert not breaker.is_open
+
+    def test_half_open_after_cooldown(self):
+        breaker = CircuitBreaker(CONFIG)
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(t)
+        assert not breaker.allow(2.0 + 1e6)  # still cooling down
+        assert breaker.allow(2.0 + 6e6)  # half-open: trial admitted
+
+    def test_success_closes(self):
+        breaker = CircuitBreaker(CONFIG)
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(t)
+        breaker.record_success()
+        assert not breaker.is_open
+        assert breaker.allow(3.0)
+
+    def test_failed_half_open_trial_restarts_cooldown(self):
+        breaker = CircuitBreaker(CONFIG)
+        for t in (0.0, 1.0, 2.0):
+            breaker.record_failure(t)
+        trial_time = 2.0 + 6e6
+        assert breaker.allow(trial_time)
+        assert breaker.record_failure(trial_time)  # re-trip
+        assert not breaker.allow(trial_time + 1e6)
+        assert breaker.allow(trial_time + 6e6)
+
+
+class TestRecoveryPolicy:
+    def test_backoff_grows_and_respects_jitter_bounds(self):
+        config = FaultConfig(
+            backoff_base_ns=1000.0, backoff_factor=2.0, backoff_jitter=0.5
+        )
+        policy = _policy(config)
+        for attempt in (1, 2, 3, 4):
+            nominal = 1000.0 * 2.0 ** (attempt - 1)
+            for _ in range(50):
+                value = policy.backoff_ns(attempt)
+                assert 0.5 * nominal <= value <= 1.5 * nominal
+
+    def test_backoff_without_jitter_is_exact(self):
+        config = FaultConfig(
+            backoff_base_ns=1000.0, backoff_factor=3.0, backoff_jitter=0.0
+        )
+        policy = _policy(config)
+        assert policy.backoff_ns(1) == 1000.0
+        assert policy.backoff_ns(2) == 3000.0
+        assert policy.backoff_ns(3) == 9000.0
+
+    def test_pick_prefers_least_occupied_healthy(self):
+        class FakeAccel:
+            def __init__(self, occupancy):
+                self.input_occupancy = occupancy
+
+        policy = _policy()
+        idle, busy = FakeAccel(0), FakeAccel(5)
+        assert policy.pick([busy, idle], now=0.0) is idle
+
+        # Trip the idle one: pick must route around it.
+        for _ in range(CONFIG.breaker_failure_threshold):
+            policy.record_failure(idle)
+        assert policy.breaker_trips == 1
+        assert policy.pick([busy, idle], now=0.0) is busy
+
+        # All tripped -> None (caller degrades to CPU).
+        for _ in range(CONFIG.breaker_failure_threshold):
+            policy.record_failure(busy)
+        assert policy.pick([busy, idle], now=0.0) is None
+        assert policy.open_breakers() == 2
+
+    def test_success_resets_breaker_through_policy(self):
+        class FakeAccel:
+            input_occupancy = 0
+
+        policy = _policy()
+        accel = FakeAccel()
+        for _ in range(CONFIG.breaker_failure_threshold):
+            policy.record_failure(accel)
+        assert policy.open_breakers() == 1
+        policy.record_success(accel)
+        assert policy.open_breakers() == 0
+
+    def test_stats_surface_all_counters(self):
+        policy = _policy()
+        stats = policy.stats()
+        assert set(stats) == {
+            "watchdog_timeouts",
+            "step_retries",
+            "breaker_trips",
+            "open_breakers",
+            "degraded_to_cpu",
+            "dma_retries",
+            "dma_fatal",
+        }
+        assert all(value == 0.0 for value in stats.values())

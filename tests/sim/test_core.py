@@ -317,7 +317,7 @@ def test_interrupt_delivers_cause():
     assert log == [(2.0, "preempted")]
 
 
-def test_interrupt_dead_process_rejected():
+def test_interrupt_dead_process_is_noop():
     env = Environment()
 
     def victim(env):
@@ -325,8 +325,77 @@ def test_interrupt_dead_process_rejected():
 
     v = env.process(victim(env))
     env.run()
-    with pytest.raises(SimulationError):
+    # Interrupting a terminated process is a documented safe no-op.
+    v.interrupt()
+    v.interrupt("twice is fine too")
+    assert not v.is_alive
+
+
+def test_double_interrupt_delivers_once():
+    env = Environment()
+    hits = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as interrupt:
+            hits.append(interrupt.cause)
+        yield env.timeout(50.0)
+
+    def attacker(env, v):
+        yield env.timeout(2.0)
+        v.interrupt(cause="first")
+        v.interrupt(cause="second")  # collapses into the in-flight one
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert hits == ["first"]
+
+
+def test_interrupt_racing_with_completion_is_noop():
+    env = Environment()
+    outcomes = []
+
+    def victim(env):
+        yield env.timeout(2.0)
+        outcomes.append("done")
+
+    def attacker(env, v):
+        yield env.timeout(2.0)
+        v.interrupt()  # same instant as victim completion
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert outcomes == ["done"]
+
+
+def test_interrupt_cancels_pending_store_get():
+    from repro.sim import Store
+
+    env = Environment()
+
+    def getter(env, store):
+        try:
+            yield store.get()
+        except Interrupt:
+            pass
+        yield env.timeout(1.0)
+
+    def attacker(env, v):
+        yield env.timeout(1.0)
         v.interrupt()
+
+    store = Store(env, capacity=1)
+    v = env.process(getter(env, store))
+    env.process(attacker(env, v))
+    env.run()
+    # The dead getter's waiter was withdrawn: a later put is not consumed
+    # by a ghost and the item stays available.
+    assert not store._get_waiters
+    assert store.try_put("item")
+    assert store.items == ["item"]
 
 
 def test_self_interrupt_rejected():
@@ -433,3 +502,78 @@ def test_many_processes_scale():
         env.process(proc(env, i))
     env.run()
     assert len(done) == 1000
+
+
+# -- runaway guard -----------------------------------------------------------
+
+
+def _ticker(env):
+    while True:
+        yield env.timeout(1.0)
+
+
+def test_runaway_guard_off_by_default():
+    saved = (Environment.default_max_events, Environment.default_max_wall_s)
+    Environment.default_max_events = None
+    Environment.default_max_wall_s = None
+    try:
+        env = Environment()
+        assert env.max_events is None
+        assert env.max_wall_s is None
+    finally:
+        Environment.default_max_events, Environment.default_max_wall_s = saved
+
+
+def test_runaway_guard_trips_on_event_budget():
+    env = Environment(max_events=500)
+    env.process(_ticker(env))
+    with pytest.raises(SimulationError, match="runaway guard"):
+        env.run()
+
+
+def test_runaway_guard_spares_bounded_runs():
+    env = Environment(max_events=500)
+    done = []
+
+    def proc(env):
+        for _ in range(100):
+            yield env.timeout(1.0)
+        done.append(True)
+
+    env.process(proc(env))
+    env.run()
+    assert done == [True]
+
+
+def test_runaway_guard_class_default_applies():
+    saved = Environment.default_max_events
+    Environment.default_max_events = 200
+    try:
+        env = Environment()
+        assert env.max_events == 200
+        env.process(_ticker(env))
+        with pytest.raises(SimulationError, match="runaway guard"):
+            env.run()
+    finally:
+        Environment.default_max_events = saved
+
+
+def test_runaway_guard_explicit_overrides_class_default():
+    saved = Environment.default_max_events
+    Environment.default_max_events = 200
+    try:
+        # An explicit (larger) budget wins over the class default: this
+        # run processes far more than 200 events and still completes.
+        env = Environment(max_events=100_000)
+        env.process(_ticker(env))
+        env.run(until=env.timeout(5_000.0))
+        assert env.now == 5_000.0
+    finally:
+        Environment.default_max_events = saved
+
+
+def test_runaway_wall_clock_guard_trips():
+    env = Environment(max_wall_s=0.0)  # deadline already passed
+    env.process(_ticker(env))
+    with pytest.raises(SimulationError, match="runaway guard"):
+        env.run(until=env.timeout(10_000.0))

@@ -239,3 +239,82 @@ class TestMachineFailure:
         assert result.total_censored() == 0
         # Lost requests terminate with an explicit error status.
         assert result.completed + result.lost == result.arrivals
+
+
+class TestFaultPlaneProperties:
+    """Hypothesis: random fault mixes never break the bookkeeping.
+
+    Whatever the fault plane throws at the system, every request must
+    terminate with a consistent status, and the recovery counters must
+    reconcile with the per-request bookkeeping.
+    """
+
+    from hypothesis import given, settings, strategies as st
+
+    rates = st.floats(min_value=0.0, max_value=0.4)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        architecture=st.sampled_from(["accelflow", "relief", "cohort"]),
+        service=st.sampled_from(["UniqId", "StoreP"]),
+        transient=rates,
+        wedge=rates,
+        dma_stall=rates,
+        dma_corrupt=rates,
+        flap=st.booleans(),
+        mgr=st.booleans(),
+    )
+    def test_random_fault_mix_terminates_consistently(
+        self,
+        seed,
+        architecture,
+        service,
+        transient,
+        wedge,
+        dma_stall,
+        dma_corrupt,
+        flap,
+        mgr,
+    ):
+        from repro.faults import FaultConfig
+
+        faults = FaultConfig(
+            pe_transient_rate=transient,
+            pe_wedge_rate=wedge,
+            pe_wedge_ns=5e5,
+            dma_stall_rate=dma_stall,
+            dma_corruption_rate=dma_corrupt,
+            noc_flap_interval_ns=1e5 if flap else 0.0,
+            manager_outage_interval_ns=2e5 if mgr else 0.0,
+            manager_outage_ns=3e5,
+            watchdog_timeout_ns=2e5,
+            backoff_base_ns=100.0,
+        )
+        server = SimulatedServer(architecture, faults=faults, seed=seed)
+        requests = run_all(server, SERVICES[service], 4)
+
+        plane = server.fault_plane
+        recovery = server.orchestrator.recovery
+        if not faults.enabled:
+            assert plane is None and recovery is None
+            assert not any(r.error or r.fell_back for r in requests)
+            return
+
+        # Injection accounting is internally consistent.
+        stats = plane.stats()
+        assert all(v >= 0.0 for v in stats.values())
+        assert stats["total_injected"] == float(plane.total_injected())
+        if architecture not in ("relief",):
+            assert plane.manager_outages == 0
+
+        # Recovery accounting reconciles with per-request bookkeeping.
+        rstats = recovery.stats()
+        assert all(v >= 0.0 for v in rstats.values())
+        assert sum(r.step_retries for r in requests) == recovery.step_retries
+        for request in requests:
+            if request.timed_out:
+                assert request.error
+            assert request.complete_ns is not None
+            assert request.latency_ns >= 0.0
+            assert all(v >= 0.0 for v in request.components.values())
