@@ -1,0 +1,270 @@
+"""Kernel microbenchmark harness — the repo's perf trajectory anchor.
+
+Measures event throughput of the simulation substrate (`repro.sim`) on
+four workloads that together cover the kernel's hot paths:
+
+* ``event_churn``       — timeout-heavy process churn (Environment.step,
+                          Timeout allocation, Process._resume).
+* ``store_contention``  — many producers/consumers blocked on a bounded
+                          Store (waiter-queue dispatch, the historical
+                          O(n) ``pop(0)`` hot spot).
+* ``condition_fanin``   — wide AllOf/AnyOf fan-in (Condition._check).
+* ``fig11_shard``       — one end-to-end (architecture, service) cell of
+                          the Figure 11 latency experiment at smoke
+                          scale: the realistic mix every figure in the
+                          paper reproduction bottoms out in.
+
+Each case reports events processed per wall-clock second (median of
+``--repeat`` runs). Results are written to ``BENCH_kernel.json`` at the
+repo root; CI runs ``--quick`` and fails when ``store_contention``
+regresses more than ``--max-regression`` against the checked-in
+baseline (``--baseline BENCH_kernel.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick
+    PYTHONPATH=src python benchmarks/bench_kernel.py --quick \
+        --baseline BENCH_kernel.json --max-regression 0.20
+
+See docs/performance.md for the kernel perf model and how to read the
+output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+from pathlib import Path
+from time import perf_counter
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim import AllOf, AnyOf, Environment, Store  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+
+
+# ---------------------------------------------------------------------------
+# benchmark cases: each returns (events_processed, wall_seconds)
+# ---------------------------------------------------------------------------
+
+def _run_counted(build, profile: bool):
+    """Build a fresh environment via ``build()`` and run it to exhaustion.
+
+    Timing runs keep kernel profiling *off* — its two ``perf_counter``
+    calls per event would swamp the dispatch cost being measured. Event
+    counts are deterministic, so each case is counted once in a
+    profiled pre-run and the count reused for every timed run.
+    """
+    env = build(profile)
+    start = perf_counter()
+    env.run()
+    elapsed = perf_counter() - start
+    return (env.profile.events if profile else None), elapsed
+
+
+def bench_event_churn(scale: int):
+    """Timeout-heavy churn: `scale` processes, 100 sequential timeouts each."""
+
+    def build(profile):
+        env = Environment(profile=profile)
+
+        def ticker(env, delay):
+            for _ in range(100):
+                yield env.timeout(delay)
+
+        for i in range(scale):
+            # Mixed delays: exercises the calendar, not just one heap lane.
+            env.process(ticker(env, 1.0 + (i % 7) * 0.25), name=f"tick-{i}")
+        return env
+
+    return build
+
+
+def bench_store_contention(scale: int):
+    """Bounded store with `scale` producers and consumers all blocked at
+    once — dispatch cost on long waiter queues dominates."""
+
+    def build(profile):
+        env = Environment(profile=profile)
+        store = Store(env, capacity=16)
+
+        def producer(env, store, n):
+            for i in range(n):
+                yield store.put(i)
+
+        def consumer(env, store, n):
+            for _ in range(n):
+                yield store.get()
+
+        per_actor = 40
+        for i in range(scale):
+            env.process(producer(env, store, per_actor), name=f"prod-{i}")
+        for i in range(scale):
+            env.process(consumer(env, store, per_actor), name=f"cons-{i}")
+        return env
+
+    return build
+
+
+def bench_condition_fanin(scale: int):
+    """Wide AllOf/AnyOf over timeout events, `scale` rounds of width 64."""
+
+    def build(profile):
+        env = Environment(profile=profile)
+
+        def round_proc(env):
+            for r in range(scale):
+                events = [env.timeout((i % 5) * 0.5) for i in range(64)]
+                yield AllOf(env, events)
+                events = [env.timeout(1.0 + (i % 3)) for i in range(64)]
+                yield AnyOf(env, events)
+
+        env.process(round_proc(env), name="fanin")
+        return env
+
+    return build
+
+
+def bench_fig11_shard(scale: str):
+    """One end-to-end Figure 11 cell (accelflow x a SocialNetwork service)."""
+    from repro.experiments.fig11_latency import make_shards, run_shard
+
+    shard = make_shards(scale=scale, seed=0, architectures=["accelflow"])[0]
+    start = perf_counter()
+    payload = run_shard(shard, scale)
+    elapsed = perf_counter() - start
+    # The shard payload does not carry a kernel event count; report
+    # completed requests per second instead (same axis: sim work / wall s).
+    return payload["service"].completed, elapsed
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+def run_case(name, fn, arg, repeat):
+    build = fn(arg)
+    events, _ = _run_counted(build, profile=True)  # deterministic count
+    walls = []
+    for _ in range(repeat):
+        _, elapsed = _run_counted(build, profile=False)
+        walls.append(elapsed)
+    # Best-of-N wall time: the most noise-robust estimator of the
+    # kernel's actual cost (anything slower is scheduler interference).
+    best = min(walls)
+    return {
+        "events": events,
+        "wall_s_best": best,
+        "wall_s_median": statistics.median(walls),
+        "events_per_s": events / best if best > 0 else 0.0,
+        "repeats": repeat,
+    }
+
+
+def run_endtoend_case(name, fn, arg, repeat):
+    rates, count, walls = [], 0, []
+    for _ in range(repeat):
+        count, elapsed = fn(arg)
+        walls.append(elapsed)
+        rates.append(count / elapsed if elapsed > 0 else 0.0)
+    return {
+        "events": count,
+        "wall_s_best": min(walls),
+        "wall_s_median": statistics.median(walls),
+        "events_per_s": max(rates),
+        "repeats": repeat,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scales + fewer repeats (CI mode)")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="runs per case (median reported)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"result JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline BENCH_kernel.json to compare against")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="fail if store_contention events/s drops by more "
+                             "than this fraction vs the baseline (default 0.20)")
+    parser.add_argument("--skip-fig11", action="store_true",
+                        help="skip the end-to-end fig11 shard case")
+    args = parser.parse_args(argv)
+
+    repeat = args.repeat or (3 if args.quick else 5)
+    churn_scale = 200 if args.quick else 500
+    # Contention is a *scaling* case: thousands of simultaneously
+    # blocked actors, the regime the fleet/cluster sims live in, where
+    # waiter-queue service cost dominates.
+    store_scale = 1500 if args.quick else 4000
+    fanin_scale = 100 if args.quick else 300
+
+    results = {}
+    print(f"bench_kernel: repeat={repeat} quick={args.quick}", flush=True)
+    for name, fn, arg in [
+        ("event_churn", bench_event_churn, churn_scale),
+        ("store_contention", bench_store_contention, store_scale),
+        ("condition_fanin", bench_condition_fanin, fanin_scale),
+    ]:
+        results[name] = run_case(name, fn, arg, repeat)
+        print(f"  {name:<18} {results[name]['events_per_s']:>12,.0f} events/s "
+              f"({results[name]['events']:,} events, "
+              f"{results[name]['wall_s_median'] * 1e3:.1f} ms)", flush=True)
+
+    if not args.skip_fig11:
+        results["fig11_shard"] = run_endtoend_case(
+            "fig11_shard", bench_fig11_shard, "smoke", max(1, repeat - 2))
+        r = results["fig11_shard"]
+        print(f"  {'fig11_shard':<18} {r['events_per_s']:>12,.0f} reqs/s "
+              f"({r['wall_s_median'] * 1e3:.1f} ms)", flush=True)
+
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "mode": "quick" if args.quick else "full",
+        "cases": results,
+    }
+
+    status = 0
+    if args.baseline and args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        base_rate = baseline["cases"]["store_contention"]["events_per_s"]
+        new_rate = results["store_contention"]["events_per_s"]
+        ratio = new_rate / base_rate if base_rate else float("inf")
+        payload["comparison"] = {
+            "baseline_store_contention_events_per_s": base_rate,
+            "ratio": ratio,
+        }
+        print(f"store_contention vs baseline: {ratio:.2f}x "
+              f"({new_rate:,.0f} vs {base_rate:,.0f} events/s)")
+        if ratio < 1.0 - args.max_regression:
+            print(f"FAIL: store_contention regressed more than "
+                  f"{args.max_regression:.0%} vs baseline", file=sys.stderr)
+            status = 1
+
+    # Carry the pre-optimization reference forward so the JSON documents
+    # the perf trajectory, not just a point sample.
+    if args.output.exists():
+        try:
+            previous = json.loads(args.output.read_text())
+            if "reference" in previous:
+                payload["reference"] = previous["reference"]
+        except (ValueError, KeyError):
+            pass
+
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -170,15 +170,20 @@ class Accelerator:
     # -- input dispatcher FSM -------------------------------------------------
     def _input_dispatcher(self):
         env = self.env
+        # Queue handles are loop-invariant; hoisted so the per-entry
+        # hot loop touches locals, not attribute chains.
+        input_queue = self.input_queue
+        overflow = self.overflow
+        free_pes = self._free_pes
         while True:
-            item = yield self.input_queue.get()
+            item = yield input_queue.get()
             entry = self._unwrap(item)
             # A slot freed up: promote one overflow entry into the queue
             # (the dispatcher follows the Overflow Pointer, Section V.1).
-            if self.overflow.items and not self.input_queue.is_full:
-                spilled = self.overflow.try_get()
-                self.input_queue.try_put(self._wrap(spilled))
-            pe = yield self._free_pes.get()
+            if overflow.items and len(input_queue.items) < input_queue.capacity:
+                spilled = overflow.try_get()
+                input_queue.try_put(self._wrap(spilled))
+            pe = yield free_pes.get()
             env.process(
                 self._execute(pe, entry), name=f"{self.kind.value}-pe{pe.index}"
             )

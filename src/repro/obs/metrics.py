@@ -88,6 +88,10 @@ class MetricsRegistry:
         self._gauges: List[Tuple[str, Callable[[], float]]] = []
         self._rates: List[Tuple[str, Callable[[], float], List[float]]] = []
         self._started = False
+        #: Incremented on every (re)start; a sampler process whose
+        #: generation no longer matches has been superseded and must
+        #: exit without recording anything.
+        self._sampler_generation = 0
         self.ticks = 0
 
     def gauge(self, name: str, fn: Callable[[], float]) -> TimeSeries:
@@ -110,21 +114,34 @@ class MetricsRegistry:
         return series
 
     def start(self) -> None:
-        """Launch the sampler process (idempotent)."""
+        """Launch the sampler process (idempotent).
+
+        A ``stop()``/``start()`` pair arriving between two ticks of the
+        old sampler supersedes it: the new generation token makes the
+        old process exit at its pending tick instead of double-sampling
+        every gauge alongside the replacement.
+        """
         if self._started:
             return
         self._started = True
-        self.env.process(self._sampler(), name="obs-metrics")
+        self._sampler_generation += 1
+        self.env.process(
+            self._sampler(self._sampler_generation), name="obs-metrics"
+        )
 
     def stop(self) -> None:
         """Make the sampler exit at its next tick."""
         self._started = False
 
-    def _sampler(self):
+    def _sampler(self, generation: int):
         env = self.env
         interval_s = self.interval_ns * 1e-9
         while self._started and self.ticks < self.capacity:
             yield env.timeout(self.interval_ns)
+            if self._sampler_generation != generation:
+                # Superseded while sleeping (stop() + start() before this
+                # tick): the replacement owns the series now.
+                return
             now = env.now
             self.ticks += 1
             for name, fn in self._gauges:

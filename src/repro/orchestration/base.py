@@ -18,6 +18,7 @@ Latency is attributed to the request's component buckets throughout
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List, Optional
 
 from ..core.glue import GlueCostModel
@@ -121,7 +122,9 @@ class Orchestrator:
         #: errored out). Satellite accounting split.
         self.tcp_recovered = 0
         self.chains_executed = 0
-        self._tenant_waiters: Dict[int, List] = {}
+        # Per-tenant FIFO of slot-gate events; deques so the
+        # grant path pops in O(1) however deep the throttle backlog.
+        self._tenant_waiters: Dict[int, deque] = {}
 
     # ------------------------------------------------------------------
     # Observability helpers
@@ -372,7 +375,7 @@ class Orchestrator:
     def _acquire_tenant_slot(self, tenant: int):
         while not self.tenants.try_start(tenant):
             gate = self.env.event()
-            waiters = self._tenant_waiters.setdefault(tenant, [])
+            waiters = self._tenant_waiters.setdefault(tenant, deque())
             waiters.append(gate)
             try:
                 yield gate
@@ -381,7 +384,7 @@ class Orchestrator:
                 # cascade): never swallow a slot-freed wakeup.
                 if gate.triggered:
                     if waiters:
-                        waiters.pop(0).succeed()
+                        waiters.popleft().succeed()
                 else:
                     waiters.remove(gate)
                 raise
@@ -390,7 +393,7 @@ class Orchestrator:
         self.tenants.end(tenant)
         waiters = self._tenant_waiters.get(tenant)
         if waiters:
-            waiters.pop(0).succeed()
+            waiters.popleft().succeed()
 
     # ------------------------------------------------------------------
     # Hooks (overridden per architecture)

@@ -22,7 +22,7 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from time import perf_counter
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
@@ -127,7 +127,9 @@ class Event:
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -137,7 +139,9 @@ class Event:
         if not isinstance(exception, BaseException):
             raise TypeError(f"{exception!r} is not an exception")
         self._value = _Failure(exception)
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -145,7 +149,9 @@ class Event:
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._value = event._value
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
 
     # -- composition ------------------------------------------------------
     def __and__(self, other: "Event") -> "Condition":
@@ -177,7 +183,10 @@ class Timeout(Event):
         self._value = value
         self._defused = False
         self.delay = delay
-        env._schedule(self, NORMAL, delay)
+        # Timeouts dominate event allocation; scheduling is inlined
+        # (no Environment._schedule call) on this path.
+        env._eid += 1
+        heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay} at {id(self):#x}>"
@@ -193,7 +202,8 @@ class Initialize(Event):
         self.callbacks = [process._resume]
         self._value = None
         self._defused = False
-        env._schedule(self, URGENT, 0.0)
+        env._eid += 1
+        heappush(env._queue, (env._now, URGENT, env._eid, self))
 
 
 class Process(Event):
@@ -283,12 +293,17 @@ class Process(Event):
         """Advance the generator with the value of ``event``."""
         env = self.env
         env._active_process = self
+        # Hot path: the generator's bound send/throw are hoisted out of
+        # the loop, and failure detection is an exact-type check
+        # (``_Failure`` is a final internal class) instead of isinstance.
+        send = self._generator.send
+        throw = self._generator.throw
         while True:
-            if isinstance(event._value, _Failure):
+            value = event._value
+            if type(value) is _Failure:
                 event._defused = True
-                exc = event._value.exc
                 try:
-                    next_event = self._generator.throw(exc)
+                    next_event = throw(value.exc)
                 except StopIteration as stop:
                     self._terminate(stop.value)
                     break
@@ -297,7 +312,7 @@ class Process(Event):
                     break
             else:
                 try:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(value)
                 except StopIteration as stop:
                     self._terminate(stop.value)
                     break
@@ -324,12 +339,16 @@ class Process(Event):
     def _terminate(self, value: Any) -> None:
         self._value = value
         self._target = None
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
 
     def _fail_with(self, error: BaseException) -> None:
         self._value = _Failure(error)
         self._target = None
-        self.env._schedule(self, NORMAL, 0.0)
+        env = self.env
+        env._eid += 1
+        heappush(env._queue, (env._now, NORMAL, env._eid, self))
 
 
 class Condition(Event):
@@ -375,14 +394,25 @@ class Condition(Event):
         return count > 0 or not events
 
     def _check(self, event: Event) -> None:
+        value = event._value
         if self._value is not _PENDING:
+            # The condition already triggered, but late child events still
+            # report here. A child that fails *after* the trigger must be
+            # defused on the spot — otherwise the unhandled _Failure
+            # escapes Environment.step() and crashes run() even though
+            # the condition's waiter never sees the loser's result (e.g.
+            # an AnyOf whose losing branch errors later).
+            if type(value) is _Failure:
+                event._defused = True
             return
         self._count += 1
-        if isinstance(event._value, _Failure):
+        if type(value) is _Failure:
             event._defused = True
-            self.fail(event._value.exc)
+            self.fail(value.exc)
         elif self._evaluate(self._events, self._count):
-            self.succeed(ConditionValue([e for e in self._events if e.processed]))
+            self.succeed(
+                ConditionValue([e for e in self._events if e.callbacks is None])
+            )
 
 
 class ConditionValue:
@@ -521,7 +551,12 @@ class Environment:
         self._events_processed = 0
 
     def enable_profiling(self) -> KernelProfile:
-        """Turn on kernel profiling (keeps existing data if already on)."""
+        """Turn on kernel profiling (keeps existing data if already on).
+
+        Takes effect at the next :meth:`run` call: the event loop
+        snapshots the switch when it starts (and :meth:`step` always
+        honours it).
+        """
         if self.profile is None:
             self.profile = KernelProfile()
         return self.profile
@@ -539,7 +574,7 @@ class Environment:
 
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -547,18 +582,20 @@ class Environment:
 
     def step(self) -> None:
         """Process the next scheduled event."""
+        queue = self._queue
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, event = heappop(queue)
         except IndexError:
             raise SimulationError("No scheduled events") from None
+        callbacks = event.callbacks
+        event.callbacks = None
         profile = self.profile
-        callbacks, event.callbacks = event.callbacks, None
         if profile is None:
             for callback in callbacks:
                 callback(event)
         else:
             profile.events += 1
-            queued = len(self._queue)
+            queued = len(queue)
             if queued > profile.peak_queue:
                 profile.peak_queue = queued
             for callback in callbacks:
@@ -568,9 +605,13 @@ class Environment:
                     KernelProfile.group_of(callback, event),
                     perf_counter() - start,
                 )
-        if isinstance(event._value, _Failure) and not event._defused:
+        # Failure fast path: most events carry a plain value (often
+        # None); one exact-type check rejects those without touching
+        # ``_defused``.
+        value = event._value
+        if type(value) is _Failure and not event._defused:
             # Nobody handled the failure: propagate it out of run().
-            raise event._value.exc
+            raise value.exc
 
     def run(self, until: Any = None) -> Any:
         """Run until ``until`` (a time, an event, or exhaustion).
@@ -584,7 +625,15 @@ class Environment:
         if until is not None:
             if isinstance(until, Event):
                 if until.callbacks is None:
-                    return until.value
+                    # Already processed: mirror _stop_on — a failed event
+                    # raises its exception instead of returning it as a
+                    # value (callers must never receive an exception
+                    # object where they expect a result).
+                    value = until._value
+                    if type(value) is _Failure:
+                        until._defused = True
+                        raise value.exc
+                    return value
                 until.callbacks.append(self._stop_on)
             else:
                 stop_at = float(until)
@@ -596,13 +645,31 @@ class Environment:
         deadline = (
             perf_counter() + self.max_wall_s if self.max_wall_s is not None else None
         )
+        guarded = max_events is not None or deadline is not None
+        queue = self._queue
+        # Snapshot of the profiling switch: it is flipped between runs
+        # (construction or enable_profiling), never mid-run.
+        profiled = self.profile is not None
         try:
-            if max_events is None and deadline is None:
-                while self._queue and self._queue[0][0] <= stop_at:
+            # The event loop is inlined (rather than calling self.step()
+            # per event): one Python frame per event is the single
+            # largest fixed cost of the kernel. step() remains the
+            # profiled / manually-driven path and must stay
+            # behaviourally identical to the inlined body below.
+            while queue and queue[0][0] <= stop_at:
+                if profiled:
                     self.step()
-            else:
-                while self._queue and self._queue[0][0] <= stop_at:
-                    self.step()
+                else:
+                    self._now, _, _, event = heappop(queue)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    value = event._value
+                    if type(value) is _Failure and not event._defused:
+                        # Nobody handled the failure: propagate it.
+                        raise value.exc
+                if guarded:
                     self._events_processed += 1
                     if max_events is not None and self._events_processed > max_events:
                         raise SimulationError(
@@ -632,10 +699,11 @@ class Environment:
         return None
 
     def _stop_on(self, event: Event) -> None:
-        if isinstance(event._value, _Failure):
+        value = event._value
+        if type(value) is _Failure:
             event._defused = True
-            raise event._value.exc
-        raise StopSimulation(event._value)
+            raise value.exc
+        raise StopSimulation(value)
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:

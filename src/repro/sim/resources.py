@@ -9,6 +9,7 @@ dispatchers, DMA engines, network links).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import List, Optional
 
 from .core import Environment, Event
@@ -76,7 +77,9 @@ class Resource:
         self.env = env
         self._capacity = capacity
         self.users: List[Request] = []
-        self.queue: List[Request] = []
+        #: FIFO wait queue; a deque so grants are O(1) popleft instead
+        #: of the O(n) ``list.pop(0)`` the kernel used to pay per grant.
+        self.queue: deque = deque()
 
     @property
     def capacity(self) -> int:
@@ -132,7 +135,7 @@ class Resource:
     def _pop_next(self) -> Optional[Request]:
         if not self.queue:
             return None
-        return self.queue.pop(0)
+        return self.queue.popleft()
 
 
 class PriorityResource(Resource):

@@ -4,14 +4,27 @@
 ``put``/``get``; :class:`PriorityStore` pops the smallest item first; and
 :class:`FilterStore` lets consumers wait for items matching a predicate.
 The hardware queues of the accelerator models are built on these.
+
+Performance notes
+-----------------
+Waiter queues and the FIFO item buffer are :class:`collections.deque`:
+``_dispatch`` serves waiters with O(1) ``popleft`` instead of the O(n)
+``list.pop(0)`` that used to dominate store-contention profiles (every
+queued put/get shifted the whole waiter array). :class:`PriorityStore`
+keeps a plain list because ``heapq`` requires one; :class:`FilterStore`
+scans (predicates force that) but still pops matched positions in one
+pass. See ``docs/performance.md`` and ``benchmarks/bench_kernel.py``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List
+from collections import deque
+from heapq import heappush
+from typing import Any, Callable
 
-from .core import Environment, Event
+from .core import NORMAL, Environment, Event
+from .core import _PENDING  # kernel-internal sentinel, shared in-package
 
 __all__ = ["Store", "PriorityStore", "FilterStore", "PriorityItem"]
 
@@ -22,11 +35,35 @@ class StorePut(Event):
     __slots__ = ("item", "store")
 
     def __init__(self, store: "Store", item: Any):
-        super().__init__(store.env)
+        # Event.__init__ is inlined: puts/gets are the second-hottest
+        # allocation in the kernel after Timeout.
+        env = store.env
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._defused = False
         self.item = item
         self.store = store
-        store._put_waiters.append(self)
-        store._dispatch()
+        # The store is dispatched to fixpoint after every mutation, so
+        # on entry here either the buffer has room and no puts are
+        # queued, or it is full. A put into a full store cannot make
+        # progress — park it without paying for a dispatch pass.
+        items = store.items
+        if len(items) >= store.capacity:
+            store._put_waiters.append(self)
+        elif not store._put_waiters:
+            # Room and no queued puts: accept immediately (inlined
+            # succeed), then only dispatch if a getter may now be
+            # servable.
+            store._insert(item)
+            self._value = None
+            env._eid += 1
+            heappush(env._queue, (env._now, NORMAL, env._eid, self))
+            if store._get_waiters:
+                store._dispatch()
+        else:
+            store._put_waiters.append(self)
+            store._dispatch()
 
     def cancel(self) -> None:
         """Withdraw the pending put (no-op once the item was accepted).
@@ -47,11 +84,30 @@ class StoreGet(Event):
     __slots__ = ("filter", "store")
 
     def __init__(self, store: "Store", filter: Callable[[Any], bool] = None):
-        super().__init__(store.env)
+        env = store.env
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._defused = False
         self.filter = filter
         self.store = store
-        store._get_waiters.append(self)
-        store._dispatch()
+        # Mirror of the StorePut fast path: a filterless get from a
+        # non-empty store is served inline; dispatch only runs when the
+        # extraction freed capacity a queued put was waiting for. An
+        # unservable filterless get cannot unblock anything (an empty
+        # buffer means every admissible put was already admitted), so
+        # it parks without a dispatch pass; predicate gets always take
+        # the scanning path.
+        if filter is None and store.items:
+            self._value = store._extract(self)
+            env._eid += 1
+            heappush(env._queue, (env._now, NORMAL, env._eid, self))
+            if store._put_waiters:
+                store._dispatch()
+        else:
+            store._get_waiters.append(self)
+            if filter is not None:
+                store._dispatch()
 
     def cancel(self) -> None:
         """Withdraw the pending get; return an already-granted item.
@@ -67,21 +123,29 @@ class StoreGet(Event):
             except ValueError:
                 pass
         elif self.ok:
-            self.store._insert(self.value)
-            self.store._dispatch()
+            store = self.store
+            store._insert(self.value)
+            # The returned item consumes capacity again; only a waiting
+            # getter can make progress on it.
+            if store._get_waiters:
+                store._dispatch()
 
 
 class Store:
-    """Bounded FIFO buffer with blocking put/get."""
+    """Bounded FIFO buffer with blocking put/get.
+
+    ``items`` is a :class:`collections.deque` (ordered oldest first);
+    compare against lists with ``list(store.items)``.
+    """
 
     def __init__(self, env: Environment, capacity: float = float("inf")):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.env = env
         self.capacity = capacity
-        self.items: List[Any] = []
-        self._put_waiters: List[StorePut] = []
-        self._get_waiters: List[StoreGet] = []
+        self.items = self._new_items()
+        self._put_waiters: deque = deque()
+        self._get_waiters: deque = deque()
 
     def __len__(self) -> int:
         return len(self.items)
@@ -100,10 +164,13 @@ class Store:
 
     def try_put(self, item: Any) -> bool:
         """Non-blocking put: returns False if the buffer is full."""
-        if self.is_full:
+        if len(self.items) >= self.capacity:
             return False
         self._insert(item)
-        self._dispatch()
+        # Inserting consumes capacity, so queued puts cannot progress;
+        # only a waiting getter can.
+        if self._get_waiters:
+            self._dispatch()
         return True
 
     def try_get(self) -> Any:
@@ -111,48 +178,71 @@ class Store:
         if not self.items:
             return None
         item = self._extract(None)
-        self._dispatch()
+        # Extracting frees capacity, so only queued puts can progress.
+        if self._put_waiters:
+            self._dispatch()
         return item
 
     def remove(self, item: Any) -> bool:
         """Remove a specific item (identity match), unblocking putters."""
-        for index, existing in enumerate(self.items):
+        items = self.items
+        for index, existing in enumerate(items):
             if existing is item:
-                self.items.pop(index)
-                self._dispatch()
+                del items[index]
+                if self._put_waiters:
+                    self._dispatch()
                 return True
         return False
 
     # -- storage policy (overridden by subclasses) --------------------------
+    def _new_items(self):
+        return deque()
+
     def _insert(self, item: Any) -> None:
         self.items.append(item)
 
     def _extract(self, getter) -> Any:
-        return self.items.pop(0)
+        return self.items.popleft()
 
     def _can_serve(self, getter) -> bool:
         return bool(self.items)
 
     # -- waiter matching ----------------------------------------------------
     def _dispatch(self) -> None:
-        # Admit queued puts while there is room.
-        progress = True
-        while progress:
+        # FIFO/priority stores serve getters strictly in arrival order
+        # (``_can_serve`` only asks "any items?"), so both waiter queues
+        # drain with O(1) popleft. Admitting a put can unblock a getter
+        # and vice versa, hence the outer progress loop. Event.succeed
+        # is inlined (queued waiters are pending by construction, so
+        # the already-triggered check is skipped).
+        items = self.items
+        put_waiters = self._put_waiters
+        get_waiters = self._get_waiters
+        capacity = self.capacity
+        env = self.env
+        event_queue = env._queue
+        insert = self._insert
+        extract = self._extract
+        now = env._now
+        eid = env._eid
+        while True:
             progress = False
-            while self._put_waiters and not self.is_full:
-                putter = self._put_waiters.pop(0)
-                self._insert(putter.item)
-                putter.succeed()
+            while put_waiters and len(items) < capacity:
+                putter = put_waiters.popleft()
+                insert(putter.item)
+                putter._value = None
+                eid += 1
+                heappush(event_queue, (now, NORMAL, eid, putter))
                 progress = True
-            idx = 0
-            while idx < len(self._get_waiters):
-                getter = self._get_waiters[idx]
-                if self._can_serve(getter):
-                    self._get_waiters.pop(idx)
-                    getter.succeed(self._extract(getter))
-                    progress = True
-                else:
-                    idx += 1
+            while get_waiters and items:
+                getter = get_waiters.popleft()
+                getter._value = extract(getter)
+                eid += 1
+                heappush(event_queue, (now, NORMAL, eid, getter))
+                progress = True
+            if not progress:
+                env._eid = eid
+                return
 
 
 class PriorityItem:
@@ -179,11 +269,36 @@ class PriorityItem:
 class PriorityStore(Store):
     """Store that pops the smallest item first (heap ordered)."""
 
+    def _new_items(self):
+        # heapq requires a list; the heap never pops from index 0 via
+        # the deque path.
+        return []
+
     def _insert(self, item: Any) -> None:
         heapq.heappush(self.items, item)
 
     def _extract(self, getter) -> Any:
         return heapq.heappop(self.items)
+
+    def remove(self, item: Any) -> bool:
+        """Heap-preserving remove (identity match).
+
+        The base implementation deletes an arbitrary position, which
+        breaks the heap invariant and makes later ``heappop`` calls
+        return non-minimal items; here the hole is back-filled with the
+        last element and the heap re-established.
+        """
+        items = self.items
+        for index, existing in enumerate(items):
+            if existing is item:
+                last = items.pop()
+                if index < len(items):
+                    items[index] = last
+                    heapq.heapify(items)
+                if self._put_waiters:
+                    self._dispatch()
+                return True
+        return False
 
 
 class FilterStore(Store):
@@ -198,9 +313,35 @@ class FilterStore(Store):
         return any(getter.filter(item) for item in self.items)
 
     def _extract(self, getter) -> Any:
+        items = self.items
         if getter is None or getter.filter is None:
-            return self.items.pop(0)
-        for idx, item in enumerate(self.items):
+            return items.popleft()
+        for idx, item in enumerate(items):
             if getter.filter(item):
-                return self.items.pop(idx)
+                del items[idx]
+                return item
         raise LookupError("FilterStore._extract called with no matching item")
+
+    def _dispatch(self) -> None:
+        # Predicate getters are not FIFO-drainable: a blocked getter at
+        # the head must not starve a later getter whose filter matches,
+        # so the getter queue is scanned left-to-right each round
+        # (exactly the pre-deque semantics).
+        items = self.items
+        put_waiters = self._put_waiters
+        get_waiters = self._get_waiters
+        capacity = self.capacity
+        while True:
+            progress = False
+            while put_waiters and len(items) < capacity:
+                putter = put_waiters.popleft()
+                self._insert(putter.item)
+                putter.succeed()
+                progress = True
+            for getter in list(get_waiters):
+                if self._can_serve(getter):
+                    get_waiters.remove(getter)
+                    getter.succeed(self._extract(getter))
+                    progress = True
+            if not progress:
+                return

@@ -20,6 +20,7 @@ Path steps:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
@@ -183,10 +184,10 @@ def expand_chain(
     if state is None:
         state = most_common_state(invocation.forced)
     paths: List[ResolvedPath] = []
-    pending = [invocation.entry]
+    pending = deque([invocation.entry])
     seen = 0
     while pending:
-        name = pending.pop(0)
+        name = pending.popleft()
         seen += 1
         if seen > max_links:
             raise ValueError(

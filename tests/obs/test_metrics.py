@@ -91,6 +91,51 @@ class TestMetricsRegistry:
         env.run()
         assert registry.ticks <= 3
 
+    def test_restart_between_ticks_does_not_double_sample(self):
+        """stop() + start() before the old sampler's next tick must
+        supersede it: exactly one sample per interval afterwards, not
+        two (the old process used to keep running alongside the new)."""
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=10.0, capacity=100)
+        registry.gauge("x", lambda: 1.0)
+        registry.start()
+
+        def restarter(env):
+            # Mid-interval (t=5): the old sampler is asleep until t=10.
+            yield env.timeout(5.0)
+            registry.stop()
+            registry.start()
+
+        env.process(restarter(env))
+        env.run(until=100.0)
+        times = registry.series["x"].times
+        # Only the replacement sampler's 10ns grid (anchored at t=5) may
+        # appear. Before the fix the superseded sampler kept ticking on
+        # its own grid (10, 20, ...) alongside, doubling the sample count.
+        assert times == [15.0 + 10.0 * i for i in range(9)], times
+        assert registry.ticks == len(times)
+
+    def test_restart_after_exit_resumes_sampling(self):
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=10.0, capacity=100)
+        registry.gauge("x", lambda: 1.0)
+        registry.start()
+
+        def cycle(env):
+            yield env.timeout(25.0)
+            registry.stop()
+            # Old sampler wakes at t=30, records its final tick, exits.
+            yield env.timeout(10.0)
+            registry.start()
+
+        env.process(cycle(env))
+        env.run(until=80.0)
+        times = registry.series["x"].times
+        assert len(times) == len(set(times))
+        assert registry.ticks == len(times)
+        # Sampling continued after the restart.
+        assert times[-1] > 40.0
+
     def test_duplicate_name_rejected(self):
         registry = MetricsRegistry(Environment())
         registry.gauge("x", lambda: 0.0)

@@ -395,7 +395,7 @@ def test_interrupt_cancels_pending_store_get():
     # by a ghost and the item stays available.
     assert not store._get_waiters
     assert store.try_put("item")
-    assert store.items == ["item"]
+    assert list(store.items) == ["item"]
 
 
 def test_self_interrupt_rejected():

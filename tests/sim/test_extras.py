@@ -14,7 +14,7 @@ class TestStoreRemove:
         for item in (a, b, c):
             store.try_put(item)
         assert store.remove(b)
-        assert store.items == [a, c]
+        assert list(store.items) == [a, c]
 
     def test_remove_missing_returns_false(self):
         env = Environment()
@@ -50,7 +50,7 @@ class TestStoreRemove:
         env.process(remover(env))
         env.run()
         assert done == [5.0]
-        assert store.items == ["waiting"]
+        assert list(store.items) == ["waiting"]
 
 
 class TestSlidingWindow:

@@ -158,7 +158,7 @@ def test_filter_store_matches_predicate():
     env.process(consumer(env))
     env.run()
     assert got == [2, 4]
-    assert store.items == [1, 3]
+    assert list(store.items) == [1, 3]
 
 
 def test_filter_store_blocks_until_match():
