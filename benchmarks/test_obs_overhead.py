@@ -39,6 +39,27 @@ def _median_runtime(obs):
     return statistics.median(durations)
 
 
+#: The live telemetry plane (bus + SLO monitor + flight recorder) does
+#: real per-event work; it is allowed to cost more than the disabled
+#: path, but a full streaming stack should still stay within a small
+#: multiple of the baseline at this workload size.
+MAX_TELEMETRY_SLOWDOWN = 3.0
+
+
+def _telemetry_obs():
+    from repro.obs import SLOMonitorConfig, SLOTarget
+
+    return ObsConfig(
+        telemetry=True,
+        flight_recorder=True,
+        slo=SLOMonitorConfig(
+            targets=(SLOTarget("*", availability=0.99, latency_ns=1e6),),
+            fast_window_ns=2e6,
+            slow_window_ns=2e7,
+        ),
+    )
+
+
 def test_disabled_observability_overhead():
     baseline = _median_runtime(obs=None)
     disabled = _median_runtime(obs=ObsConfig())  # constructed but all off
@@ -49,4 +70,24 @@ def test_disabled_observability_overhead():
     )
     assert ratio < MAX_SLOWDOWN, (
         f"disabled observability slowed the simulator by {ratio:.2f}x"
+    )
+
+
+def test_streaming_telemetry_overhead():
+    """Telemetry-on vs telemetry-off cost of the same seeded runs.
+
+    The disabled path is the ±5% acceptance gate above; the enabled
+    path (bus fan-out on every request terminal, burn-rate sweeps, the
+    recorder's ring) gets a looser bound that still catches an
+    accidentally quadratic subscriber or sweep.
+    """
+    off = _median_runtime(obs=ObsConfig())
+    on = _median_runtime(obs=_telemetry_obs())
+    ratio = on / off
+    print(
+        f"\ntelemetry overhead: off {off * 1e3:.1f} ms, "
+        f"on {on * 1e3:.1f} ms, ratio {ratio:.3f}"
+    )
+    assert ratio < MAX_TELEMETRY_SLOWDOWN, (
+        f"streaming telemetry slowed the simulator by {ratio:.2f}x"
     )

@@ -7,6 +7,7 @@ its "figure" directly in a terminal or a log file.
 
 from __future__ import annotations
 
+import math
 from typing import List, Mapping, Sequence
 
 __all__ = ["bar_chart", "series_chart", "sparkline"]
@@ -42,7 +43,10 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
 
     Values are min-max normalized onto an ASCII ramp. Longer series are
     downsampled to ``width`` columns by bucket-averaging; shorter ones
-    use one column per sample.
+    use one column per sample. Non-finite values degrade gracefully:
+    NaN renders as a blank column, ±inf clamp to the ramp ends, and
+    normalization ignores them entirely (so one bad sample can no
+    longer blank out or crash the whole row).
     """
     if width <= 0:
         raise ValueError("width must be positive")
@@ -54,19 +58,32 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
         for col in range(width):
             lo = col * len(points) // width
             hi = max((col + 1) * len(points) // width, lo + 1)
-            chunk = points[lo:hi]
-            bucketed.append(sum(chunk) / len(chunk))
+            chunk = [v for v in points[lo:hi] if not math.isnan(v)]
+            bucketed.append(sum(chunk) / len(chunk) if chunk else math.nan)
         points = bucketed
-    low, high = min(points), max(points)
-    span = high - low
+    finite = [v for v in points if math.isfinite(v)]
     top = len(_SPARK_LEVELS) - 1
-    if span <= 0:
-        # Flat series: mid-ramp if nonzero, blank if all-zero.
-        level = 0 if high == 0 else top // 2
-        return _SPARK_LEVELS[level] * len(points)
-    return "".join(
-        _SPARK_LEVELS[int(round((v - low) / span * top))] for v in points
-    )
+    if not finite:
+        # Nothing to normalize against: NaN columns stay blank, and
+        # infinities clamp to the ramp ends.
+        return "".join(
+            " " if math.isnan(v) else (_SPARK_LEVELS[top] if v > 0 else _SPARK_LEVELS[0])
+            for v in points
+        )
+    low, high = min(finite), max(finite)
+    span = high - low
+
+    def glyph(v: float) -> str:
+        if math.isnan(v):
+            return " "
+        if math.isinf(v):
+            return _SPARK_LEVELS[top] if v > 0 else _SPARK_LEVELS[0]
+        if span <= 0:
+            # Flat series: mid-ramp if nonzero, blank if all-zero.
+            return _SPARK_LEVELS[0 if high == 0 else top // 2]
+        return _SPARK_LEVELS[int(round((v - low) / span * top))]
+
+    return "".join(glyph(v) for v in points)
 
 
 def series_chart(

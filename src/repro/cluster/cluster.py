@@ -24,7 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from ..obs import MetricsRegistry, ObsSession, SpanTracer
+from ..obs import MetricsRegistry, SpanTracer
+from ..obs.telemetry import AdmissionEvent, FaultInjected, Marker, RequestEnd
 from ..server.machine import SimulatedServer
 from ..sim import Environment, Interrupt, Process, RandomStreams, derive_seed
 from ..workloads.payloads import PayloadModel
@@ -91,22 +92,17 @@ class SimulatedCluster:
         self.machines_failed = 0
         self.peak_machines = 0
 
-        # Cluster-level observability: fleet gauges + control-plane spans.
+        # Cluster-level observability: fleet gauges, control-plane spans,
+        # and (when enabled) the streaming telemetry plane.
         self.tracer: Optional[SpanTracer] = None
         self.metrics: Optional[MetricsRegistry] = None
+        self.bus = None
         obs = config.obs
         if obs is not None:
-            if obs.trace:
-                self.tracer = SpanTracer(
-                    self.env, sample_rate=obs.sample_rate, max_spans=obs.max_spans
-                )
-            if obs.metrics:
-                self.metrics = MetricsRegistry(
-                    self.env,
-                    interval_ns=obs.metrics_interval_ns,
-                    capacity=obs.metrics_capacity,
-                )
-            obs.sessions.append(ObsSession(self.env, self.tracer, self.metrics))
+            session = obs.make_session(self.env)
+            self.tracer = session.tracer
+            self.metrics = session.registry
+            self.bus = session.bus
 
         for _ in range(config.machines):
             self.add_machine(warmup_ns=0.0)
@@ -152,6 +148,14 @@ class SimulatedCluster:
                 "cluster",
                 args={"machine": index, "warmup_ns": warmup_ns},
             )
+        if self.bus is not None:
+            self.bus.publish(
+                Marker(
+                    t_ns=self.env.now,
+                    name="machine-added",
+                    args={"machine": index, "warmup_ns": warmup_ns},
+                )
+            )
         return machine
 
     def drain_one(self) -> Optional[ClusterMachine]:
@@ -169,6 +173,14 @@ class SimulatedCluster:
             self.tracer.instant(
                 "machine-drained", "cluster", args={"machine": victim.index}
             )
+        if self.bus is not None:
+            self.bus.publish(
+                Marker(
+                    t_ns=self.env.now,
+                    name="machine-drained",
+                    args={"machine": victim.index},
+                )
+            )
         return victim
 
     def fail_machine(self, index: int) -> int:
@@ -183,6 +195,14 @@ class SimulatedCluster:
                 "machine-failure",
                 "cluster",
                 args={"machine": index, "inflight": victims},
+            )
+        if self.bus is not None:
+            self.bus.publish(
+                FaultInjected(
+                    t_ns=self.env.now,
+                    category="machine-failure",
+                    args={"machine": index, "inflight": victims},
+                )
             )
         return victims
 
@@ -255,9 +275,34 @@ class SimulatedCluster:
                     self.tracer.instant(
                         "shed", "cluster", args={"service": request.spec.name}
                     )
+                if self.bus is not None:
+                    self.bus.publish(
+                        AdmissionEvent(
+                            t_ns=self.env.now,
+                            service=request.spec.name,
+                            decision="shed",
+                        )
+                    )
+                    self.bus.publish(
+                        RequestEnd(
+                            t_ns=self.env.now,
+                            service=request.spec.name,
+                            latency_ns=0.0,
+                            ok=False,
+                            status=RequestStatus.SHED,
+                        )
+                    )
                 return (RequestStatus.SHED, request)
             if decision == AdmissionDecision.DEGRADE:
                 self.degraded += 1
+                if self.bus is not None:
+                    self.bus.publish(
+                        AdmissionEvent(
+                            t_ns=self.env.now,
+                            service=request.spec.name,
+                            decision="degrade",
+                        )
+                    )
         attempts = 0
         while True:
             machines = self.routable_machines()
@@ -279,6 +324,18 @@ class SimulatedCluster:
             self.completed += 1
             if self.admission is not None:
                 self.admission.observe(request.latency_ns)
+            if self.bus is not None:
+                self.bus.publish(
+                    RequestEnd(
+                        t_ns=self.env.now,
+                        service=request.spec.name,
+                        latency_ns=request.latency_ns,
+                        ok=not (request.error or request.timed_out),
+                        error=request.error,
+                        timed_out=request.timed_out,
+                        fell_back=request.fell_back,
+                    )
+                )
             return (RequestStatus.OK, request)
 
     def _give_up(self, request: Request):
@@ -287,6 +344,18 @@ class SimulatedCluster:
         request.timed_out = True
         request.complete_ns = self.env.now
         self.lost += 1
+        if self.bus is not None:
+            self.bus.publish(
+                RequestEnd(
+                    t_ns=self.env.now,
+                    service=request.spec.name,
+                    latency_ns=request.latency_ns,
+                    ok=False,
+                    error=True,
+                    timed_out=True,
+                    status=RequestStatus.LOST,
+                )
+            )
         return (RequestStatus.LOST, request)
 
     def _clone_for_retry(self, request: Request) -> Request:

@@ -70,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress per-shard progress reporting on stderr",
     )
+    parser.add_argument(
+        "--dashboard",
+        action="store_true",
+        help="after the experiment, run a small telemetry-enabled cell "
+        "and print its live-dashboard snapshot (fig_faults/fig_cluster)",
+    )
     return parser
 
 
@@ -107,6 +113,14 @@ def main(argv=None) -> int:
             elapsed = time.time() - start
             print(result["table"])
             print(f"\n[{name} completed in {elapsed:.1f}s at scale={args.scale}]\n")
+            if args.dashboard:
+                from ..obs.dashboard import preview
+
+                snapshot = preview(name, scale=args.scale, seed=args.seed)
+                if snapshot is None:
+                    print(f"[no dashboard preview for {name}]\n")
+                else:
+                    print(snapshot + "\n")
     if cache is not None:
         print(f"[cache {cache.stats.summary()} dir={args.cache_dir}]")
     return 0

@@ -39,6 +39,9 @@ class FaultPlane:
         self.env = env
         self.config = config
         self.tracer = tracer
+        #: Optional :class:`repro.obs.TelemetryBus`; every injection is
+        #: additionally published as a ``FaultInjected`` event.
+        self.bus = None
         self._pe_stream = streams.stream("faults/pe")
         self._pe_sched_stream = streams.stream("faults/pe-sched")
         self._dma_stream = streams.stream("faults/dma")
@@ -86,9 +89,16 @@ class FaultPlane:
             self.env.process(self._atm_outage_injector(), name="fault-atm-outage")
 
     def emit(self, name: str, args: Optional[dict] = None) -> None:
-        """Record a fault event as an instant span on the faults track."""
+        """Record a fault event: an instant span on the faults track,
+        and a ``FaultInjected`` telemetry event when a bus is attached."""
         if self.tracer is not None:
             self.tracer.instant(name, "faults", args=args)
+        if self.bus is not None:
+            from ..obs.telemetry import FaultInjected
+
+            self.bus.publish(
+                FaultInjected(t_ns=self.env.now, category=name, args=args)
+            )
 
     # ------------------------------------------------------------------
     # Per-op draws (called inline by the hardware models)

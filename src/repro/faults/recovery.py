@@ -73,6 +73,9 @@ class RecoveryPolicy:
         self.config = config
         self.stream = stream
         self._breakers: Dict[int, CircuitBreaker] = {}
+        #: Optional :class:`repro.obs.TelemetryBus`; breaker trips and
+        #: closes are published as ``RecoveryEvent``s.
+        self.bus = None
 
         # Recovery counters.
         self.watchdog_timeouts = 0
@@ -101,11 +104,33 @@ class RecoveryPolicy:
         return min(healthy, key=lambda a: a.input_occupancy)
 
     def record_failure(self, accel) -> None:
-        if self.breaker(accel).record_failure(self.env.now):
+        breaker = self.breaker(accel)
+        was_open = breaker.is_open
+        if breaker.record_failure(self.env.now):
             self.breaker_trips += 1
+            # A failed half-open trial restarts the cooldown but the
+            # breaker never closed: publish only closed->open edges.
+            if not was_open:
+                self._publish("breaker-open", accel)
 
     def record_success(self, accel) -> None:
-        self.breaker(accel).record_success()
+        breaker = self.breaker(accel)
+        was_open = breaker.is_open
+        breaker.record_success()
+        if was_open:
+            self._publish("breaker-close", accel)
+
+    def _publish(self, kind_name: str, accel) -> None:
+        if self.bus is not None:
+            from ..obs.telemetry import RecoveryEvent
+
+            self.bus.publish(
+                RecoveryEvent(
+                    t_ns=self.env.now,
+                    kind_name=kind_name,
+                    args={"accel": accel.kind.value},
+                )
+            )
 
     def open_breakers(self) -> int:
         return sum(1 for b in self._breakers.values() if b.is_open)

@@ -1,6 +1,6 @@
-"""Observability: request-flow tracing, time-series metrics, profiling.
+"""Observability: tracing, metrics, profiling, and streaming telemetry.
 
-Three layers, all opt-in through one :class:`ObsConfig` object:
+Post-hoc layers, all opt-in through one :class:`ObsConfig` object:
 
 * :class:`SpanTracer` records each sampled request's lifecycle (queue
   waits, PE execution, dispatcher work, DTE transforms, ATM reads, DMA
@@ -14,6 +14,21 @@ Three layers, all opt-in through one :class:`ObsConfig` object:
 * Kernel profiling lives in :class:`repro.sim.Environment` (enabled via
   ``ObsConfig.profile_kernel``); :func:`format_profile` renders it.
 
+The *streaming* plane (``ObsConfig(telemetry=True, ...)``) layers live
+consumers over the same producers:
+
+* :class:`TelemetryBus` — bounded pub/sub ring; spans, metric samples,
+  fault injections, recovery events and request terminals are published
+  as they happen in sim time.
+* :class:`SLOMonitor` — multi-window burn-rate alerting over
+  per-service availability/latency targets (:class:`SLOTarget`,
+  :class:`SLOMonitorConfig`), with alert lifecycle spans.
+* :class:`FlightRecorder` — ring-buffered incident bundles captured on
+  alert-fire / breaker-open / watchdog-timeout, plus the fault→breach
+  correlation table.
+* :class:`Dashboard` — live/snapshot ASCII fleet view
+  (``python -m repro.obs.dashboard``).
+
 Disabled observability costs a single ``is not None`` attribute check
 at each instrumentation point.
 """
@@ -22,15 +37,59 @@ from .config import ObsConfig, ObsSession
 from .export import chrome_trace, write_chrome_trace
 from .metrics import MetricsRegistry, TimeSeries
 from .profiling import format_profile
+from .recorder import FlightRecorder
+from .slo import Alert, AlertState, SLOMonitor, SLOMonitorConfig, SLOTarget
 from .span import Span, SpanTracer
+from .telemetry import (
+    AdmissionEvent,
+    AlertFired,
+    FaultInjected,
+    Marker,
+    MetricSample,
+    RecoveryEvent,
+    RequestEnd,
+    SpanEnd,
+    TelemetryBus,
+    TelemetryEvent,
+    TelemetrySubscription,
+)
 from .timeline import render_timeline
 
+
+def __getattr__(name):
+    # Lazy so `python -m repro.obs.dashboard` does not import the module
+    # twice (once via the package, once as __main__ — runpy warns).
+    if name == "Dashboard":
+        from .dashboard import Dashboard
+
+        return Dashboard
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "AdmissionEvent",
+    "Alert",
+    "AlertFired",
+    "AlertState",
+    "Dashboard",
+    "FaultInjected",
+    "FlightRecorder",
+    "Marker",
+    "MetricSample",
     "MetricsRegistry",
     "ObsConfig",
     "ObsSession",
+    "RecoveryEvent",
+    "RequestEnd",
+    "SLOMonitor",
+    "SLOMonitorConfig",
+    "SLOTarget",
     "Span",
+    "SpanEnd",
     "SpanTracer",
+    "TelemetryBus",
+    "TelemetryEvent",
+    "TelemetrySubscription",
     "TimeSeries",
     "chrome_trace",
     "format_profile",

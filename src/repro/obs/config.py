@@ -3,8 +3,9 @@
 One :class:`ObsConfig` travels from the caller through
 :class:`~repro.server.driver.RunConfig` into
 :class:`~repro.server.machine.SimulatedServer`, which builds the
-runtime objects (tracer, metrics registry) and registers them back here
-as an :class:`ObsSession`. After a run::
+runtime objects (tracer, metrics registry, telemetry bus, SLO monitor,
+flight recorder) and registers them back here as an
+:class:`ObsSession`. After a run::
 
     obs = ObsConfig(trace=True, metrics=True)
     run_experiment(services, RunConfig("accelflow", obs=obs))
@@ -12,8 +13,13 @@ as an :class:`ObsSession`. After a run::
     print(obs.registry.render())
 
 Dedicated-mode experiments create one server per service; each server
-appends its own session, and the ``tracer``/``registry`` shortcuts
-return the most recent one.
+appends its own session, and the ``tracer``/``registry``/``bus``
+shortcuts return the most recent one.
+
+The streaming plane (``telemetry``/``slo``/``flight_recorder``) rides
+the same opt-in contract: nothing is constructed and no event is
+published unless ``telemetry`` is True, so disabled runs stay
+byte-identical.
 """
 
 from __future__ import annotations
@@ -22,7 +28,10 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from .metrics import MetricsRegistry
+from .recorder import FlightRecorder
+from .slo import SLOMonitor, SLOMonitorConfig
 from .span import SpanTracer
+from .telemetry import TelemetryBus
 
 __all__ = ["ObsConfig", "ObsSession"]
 
@@ -34,6 +43,9 @@ class ObsSession:
     env: object
     tracer: Optional[SpanTracer] = None
     registry: Optional[MetricsRegistry] = None
+    bus: Optional[TelemetryBus] = None
+    slo_monitor: Optional[SLOMonitor] = None
+    recorder: Optional[FlightRecorder] = None
 
 
 @dataclass
@@ -57,12 +69,81 @@ class ObsConfig:
     metrics_capacity: int = 1024
     #: Enable :class:`repro.sim.Environment` kernel profiling.
     profile_kernel: bool = False
+    #: Run the streaming telemetry bus (spans, metrics, faults,
+    #: request terminals published live).
+    telemetry: bool = False
+    #: Event-ring capacity of the bus.
+    telemetry_capacity: int = 4096
+    #: Attach a burn-rate SLO monitor to the bus (implies telemetry).
+    slo: Optional[SLOMonitorConfig] = None
+    #: Attach an incident flight recorder to the bus (implies telemetry).
+    flight_recorder: bool = False
+    #: Event-ring capacity of the flight recorder.
+    recorder_capacity: int = 2048
     #: Sessions registered by the servers that used this config.
     sessions: List[ObsSession] = field(default_factory=list, repr=False)
 
     @property
+    def telemetry_enabled(self) -> bool:
+        return self.telemetry or self.slo is not None or self.flight_recorder
+
+    @property
     def enabled(self) -> bool:
-        return self.trace or self.metrics or self.profile_kernel
+        return (
+            self.trace
+            or self.metrics
+            or self.profile_kernel
+            or self.telemetry_enabled
+        )
+
+    def make_session(self, env) -> ObsSession:
+        """Build the runtime objects for one server/cluster and register
+        them as a new session.
+
+        The flight recorder subscribes before the SLO monitor so an
+        ``AlertFired`` published mid-dispatch still lands in the
+        recorder's ring before the recorder's own trigger handling runs.
+        """
+        tracer = (
+            SpanTracer(
+                env,
+                sample_rate=self.sample_rate,
+                services=self.trace_services,
+                max_spans=self.max_spans,
+            )
+            if self.trace
+            else None
+        )
+        registry = (
+            MetricsRegistry(
+                env,
+                interval_ns=self.metrics_interval_ns,
+                capacity=self.metrics_capacity,
+            )
+            if self.metrics
+            else None
+        )
+        bus = slo_monitor = recorder = None
+        if self.telemetry_enabled:
+            bus = TelemetryBus(env, capacity=self.telemetry_capacity)
+            if tracer is not None:
+                tracer.bus = bus
+            if registry is not None:
+                registry.bus = bus
+            if self.flight_recorder:
+                recorder = FlightRecorder(bus, capacity=self.recorder_capacity)
+            if self.slo is not None:
+                slo_monitor = SLOMonitor(bus, self.slo, tracer=tracer)
+        session = ObsSession(
+            env=env,
+            tracer=tracer,
+            registry=registry,
+            bus=bus,
+            slo_monitor=slo_monitor,
+            recorder=recorder,
+        )
+        self.sessions.append(session)
+        return session
 
     @property
     def tracer(self) -> Optional[SpanTracer]:
@@ -78,4 +159,28 @@ class ObsConfig:
         for session in reversed(self.sessions):
             if session.registry is not None:
                 return session.registry
+        return None
+
+    @property
+    def bus(self) -> Optional[TelemetryBus]:
+        """Telemetry bus of the most recent session."""
+        for session in reversed(self.sessions):
+            if session.bus is not None:
+                return session.bus
+        return None
+
+    @property
+    def slo_monitor(self) -> Optional[SLOMonitor]:
+        """SLO monitor of the most recent session."""
+        for session in reversed(self.sessions):
+            if session.slo_monitor is not None:
+                return session.slo_monitor
+        return None
+
+    @property
+    def recorder(self) -> Optional[FlightRecorder]:
+        """Flight recorder of the most recent session."""
+        for session in reversed(self.sessions):
+            if session.recorder is not None:
+                return session.recorder
         return None

@@ -44,7 +44,14 @@ def _thread_metadata(tracks: List[str]) -> List[dict]:
 
 
 def chrome_trace(tracer: SpanTracer) -> dict:
-    """Render a tracer's spans as a trace-event JSON object."""
+    """Render a tracer's spans as a trace-event JSON object.
+
+    Spans still open at export (request in flight at the horizon, an
+    alert still firing) are auto-closed at the current sim time with an
+    ``unclosed: true`` attribute instead of being dropped silently; the
+    total lands in ``otherData.unclosed``.
+    """
+    tracer.close_open_spans()
     tracks = tracer.tracks()
     tid_of: Dict[str, int] = {track: tid for tid, track in enumerate(tracks)}
     events: List[dict] = [
@@ -57,8 +64,6 @@ def chrome_trace(tracer: SpanTracer) -> dict:
     ]
     events.extend(_thread_metadata(tracks))
     for span in tracer.spans:
-        if span.end_ns is None:  # still open at export time
-            continue
         args = dict(span.args or {})
         if span.req is not None:
             args["req"] = span.req
@@ -84,6 +89,7 @@ def chrome_trace(tracer: SpanTracer) -> dict:
         "otherData": {
             "spans": len(tracer.spans),
             "dropped": tracer.dropped,
+            "unclosed": tracer.unclosed,
             "sample_rate": tracer.sample_rate,
         },
     }

@@ -9,6 +9,7 @@ widen ``interval_ns`` or ``capacity`` to cover their horizon.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -31,11 +32,17 @@ def sparkline_row(
     label = name.ljust(label_width or len(name))
     if not values:
         return f"{label} (no samples)"
+    # Non-finite samples (a rate gauge's 0/0, an unpopulated latency
+    # percentile) must not poison min/last/max or the sparkline.
+    finite = [v for v in values if math.isfinite(v)]
+    if not finite:
+        return f"{label} (no finite samples)"
     spark = sparkline(values, width=width)
+    last = values[-1] if math.isfinite(values[-1]) else finite[-1]
     return (
         f"{label} |{spark}| "
-        f"min {min(values):,.1f}  last {values[-1]:,.1f}  "
-        f"max {max(values):,.1f}"
+        f"min {min(finite):,.1f}  last {last:,.1f}  "
+        f"max {max(finite):,.1f}"
     )
 
 
@@ -93,6 +100,9 @@ class MetricsRegistry:
         #: exit without recording anything.
         self._sampler_generation = 0
         self.ticks = 0
+        #: Optional :class:`~repro.obs.telemetry.TelemetryBus`; each
+        #: recorded sample is additionally published as ``MetricSample``.
+        self.bus = None
 
     def gauge(self, name: str, fn: Callable[[], float]) -> TimeSeries:
         """Sample ``fn()`` every tick into the series ``name``."""
@@ -145,11 +155,21 @@ class MetricsRegistry:
             now = env.now
             self.ticks += 1
             for name, fn in self._gauges:
-                self.series[name].push(now, float(fn()))
+                value = float(fn())
+                self.series[name].push(now, value)
+                self._publish(now, name, value)
             for name, fn, prev in self._rates:
                 current = float(fn())
-                self.series[name].push(now, (current - prev[0]) / interval_s)
+                rate = (current - prev[0]) / interval_s
+                self.series[name].push(now, rate)
                 prev[0] = current
+                self._publish(now, name, rate)
+
+    def _publish(self, t_ns: float, name: str, value: float) -> None:
+        if self.bus is not None:
+            from .telemetry import MetricSample
+
+            self.bus.publish(MetricSample(t_ns=t_ns, name=name, value=value))
 
     # -- rendering ---------------------------------------------------------
     def render(self, width: int = 60, names: Optional[List[str]] = None) -> str:

@@ -80,6 +80,11 @@ class SpanTracer:
         self.max_spans = max_spans
         self.spans: List[Span] = []
         self.dropped = 0
+        #: Spans auto-closed because they were still open at export.
+        self.unclosed = 0
+        #: Optional :class:`~repro.obs.telemetry.TelemetryBus`; closed
+        #: spans are additionally published as ``SpanEnd`` events.
+        self.bus = None
         #: Per-service stride accumulator for deterministic sampling.
         self._stride: Dict[str, float] = {}
         #: Global request id -> trace-local index, for every sampled
@@ -140,6 +145,25 @@ class SpanTracer:
             Span(name, track, self.env.now, None, self.local_id(rid), cat, args)
         )
 
+    def _publish(self, span: Optional[Span]) -> Optional[Span]:
+        """Stream a closed span onto the telemetry bus (when attached)."""
+        if span is not None and self.bus is not None:
+            from .telemetry import SpanEnd
+
+            self.bus.publish(
+                SpanEnd(
+                    t_ns=span.end_ns,
+                    name=span.name,
+                    track=span.track,
+                    start_ns=span.start_ns,
+                    end_ns=span.end_ns,
+                    req=span.req,
+                    cat=span.cat,
+                    args=span.args,
+                )
+            )
+        return span
+
     def end(self, span: Optional[Span], **extra_args: Any) -> None:
         """Close a span opened with :meth:`begin` at the current sim time."""
         if span is None:  # dropped at begin() time
@@ -147,6 +171,7 @@ class SpanTracer:
         span.end_ns = self.env.now
         if extra_args:
             span.args = {**(span.args or {}), **extra_args}
+        self._publish(span)
 
     def complete(
         self,
@@ -159,8 +184,10 @@ class SpanTracer:
         args: Optional[Dict[str, Any]] = None,
     ) -> Optional[Span]:
         """Record a span whose start and end are already known."""
-        return self._admit(
-            Span(name, track, start_ns, end_ns, self.local_id(rid), cat, args)
+        return self._publish(
+            self._admit(
+                Span(name, track, start_ns, end_ns, self.local_id(rid), cat, args)
+            )
         )
 
     def instant(
@@ -172,9 +199,32 @@ class SpanTracer:
     ) -> Optional[Span]:
         """Record a zero-duration marker at the current sim time."""
         now = self.env.now
-        return self._admit(
-            Span(name, track, now, now, self.local_id(rid), "instant", args)
+        return self._publish(
+            self._admit(
+                Span(name, track, now, now, self.local_id(rid), "instant", args)
+            )
         )
+
+    def close_open_spans(self) -> int:
+        """Close every span still open, at the current sim time.
+
+        Spans left open when the environment finishes (a request in
+        flight at the horizon, an alert still firing) used to vanish
+        silently from exports. They now get ``end_ns = now`` and an
+        ``unclosed: true`` attribute, are counted on :attr:`unclosed`,
+        and are published to the bus like any other closed span.
+        Returns how many spans were closed by this call.
+        """
+        now = self.env.now
+        closed = 0
+        for span in self.spans:
+            if span.end_ns is None:
+                span.end_ns = now
+                span.args = {**(span.args or {}), "unclosed": True}
+                self.unclosed += 1
+                closed += 1
+                self._publish(span)
+        return closed
 
     # -- access ------------------------------------------------------------
     def tracks(self) -> List[str]:

@@ -29,6 +29,7 @@ from ..hw.ensemble import ServerHardware
 from ..hw.noc import CPU_ENDPOINT
 from ..hw.ops import QueueEntry
 from ..hw.params import AcceleratorKind
+from ..obs.telemetry import RecoveryEvent, RequestEnd
 from ..workloads.request import Buckets, Request
 from ..sim import Environment, Interrupt, RandomStreams
 from ..workloads.calibration import OrchestrationCosts, RemoteLatencies
@@ -97,6 +98,9 @@ class Orchestrator:
         #: Optional :class:`repro.obs.SpanTracer` (one attribute check
         #: per instrumentation point when tracing is off).
         self.tracer = tracer
+        #: Optional :class:`repro.obs.TelemetryBus` (same contract);
+        #: request terminals and recovery-plane events stream onto it.
+        self.bus = None
         self.costs = orch_costs or OrchestrationCosts()
         self.remotes = remotes or RemoteLatencies()
         self.glue = GlueCostModel(hardware.params.cpu.ghz)
@@ -160,6 +164,18 @@ class Orchestrator:
             if request.error or request.timed_out:
                 break
         request.complete_ns = env.now
+        if self.bus is not None:
+            self.bus.publish(
+                RequestEnd(
+                    t_ns=env.now,
+                    service=spec.name,
+                    latency_ns=request.latency_ns,
+                    ok=not (request.error or request.timed_out),
+                    error=request.error,
+                    timed_out=request.timed_out,
+                    fell_back=request.fell_back,
+                )
+            )
         rid = self._obs_rid(request)
         if rid is not None:
             self.tracer.complete(
@@ -499,6 +515,14 @@ class Orchestrator:
                         "watchdog-timeout", "faults",
                         args={"step": step.kind.value, "rid": request.rid},
                     )
+                if self.bus is not None:
+                    self.bus.publish(
+                        RecoveryEvent(
+                            t_ns=env.now,
+                            kind_name="watchdog-timeout",
+                            args={"step": step.kind.value, "rid": request.rid},
+                        )
+                    )
                 attempt.interrupt("watchdog")
                 yield attempt  # lets the attempt abandon its entry
             entry = box.get("entry")
@@ -519,6 +543,14 @@ class Orchestrator:
                 recovery.degraded_to_cpu += 1
                 self.fallbacks += 1
                 request.fell_back = True
+                if self.bus is not None:
+                    self.bus.publish(
+                        RecoveryEvent(
+                            t_ns=env.now,
+                            kind_name="degraded-to-cpu",
+                            args={"step": step.kind.value, "rid": request.rid},
+                        )
+                    )
                 return None
             recovery.step_retries += 1
             request.step_retries += 1

@@ -125,6 +125,20 @@ def _source(server: SimulatedServer, spec: ServiceSpec, config: RunConfig, sink)
 def _run_on_server(
     server: SimulatedServer, services: List[ServiceSpec], config: RunConfig
 ) -> Dict[str, ServiceResult]:
+    if server.bus is not None:
+        from ..obs.telemetry import Marker
+
+        server.bus.publish(
+            Marker(
+                t_ns=server.env.now,
+                name="run-start",
+                args={
+                    "architecture": config.architecture,
+                    "services": [spec.name for spec in services],
+                    "requests_per_service": config.requests_per_service,
+                },
+            )
+        )
     in_flight: List = []
     sources = [
         server.env.process(
@@ -152,6 +166,17 @@ def _run_on_server(
         until=server.env.any_of([watcher, server.env.timeout(horizon_ns)])
     )
 
+    if server.bus is not None:
+        from ..obs.telemetry import Marker
+
+        completed = sum(1 for request, _ in in_flight if request.completed)
+        server.bus.publish(
+            Marker(
+                t_ns=server.env.now,
+                name="run-end",
+                args={"submitted": len(in_flight), "completed": completed},
+            )
+        )
     results = {
         spec.name: ServiceResult(spec.name, warmup_fraction=config.warmup_fraction)
         for spec in services

@@ -9,7 +9,7 @@ from ..faults import FaultConfig, FaultPlane
 from ..hw.accelerator import QueuePolicy
 from ..hw.ensemble import ServerHardware
 from ..hw.params import MachineParams
-from ..obs import MetricsRegistry, ObsConfig, ObsSession, SpanTracer
+from ..obs import MetricsRegistry, ObsConfig, SpanTracer
 from ..orchestration import make_orchestrator
 from ..sim import Environment, RandomStreams
 from ..workloads.calibration import (
@@ -60,21 +60,12 @@ class SimulatedServer:
         self.env = env
         self.tracer: Optional[SpanTracer] = None
         self.metrics: Optional[MetricsRegistry] = None
+        self.bus = None
         if obs is not None:
-            if obs.trace:
-                self.tracer = SpanTracer(
-                    self.env,
-                    sample_rate=obs.sample_rate,
-                    services=obs.trace_services,
-                    max_spans=obs.max_spans,
-                )
-            if obs.metrics:
-                self.metrics = MetricsRegistry(
-                    self.env,
-                    interval_ns=obs.metrics_interval_ns,
-                    capacity=obs.metrics_capacity,
-                )
-            obs.sessions.append(ObsSession(self.env, self.tracer, self.metrics))
+            session = obs.make_session(self.env)
+            self.tracer = session.tracer
+            self.metrics = session.registry
+            self.bus = session.bus
         self.streams = RandomStreams(seed)
         self.hardware = ServerHardware(
             self.env,
@@ -91,6 +82,7 @@ class SimulatedServer:
             self.fault_plane = FaultPlane(
                 self.env, faults, self.streams, tracer=self.tracer
             )
+            self.fault_plane.bus = self.bus
             self.fault_plane.attach(self.hardware)
         self.cost_model = CostModel(self.registry, generation=self.params.generation)
         self.orchestrator = make_orchestrator(
@@ -105,6 +97,9 @@ class SimulatedServer:
             tracer=self.tracer,
             fault_plane=self.fault_plane,
         )
+        self.orchestrator.bus = self.bus
+        if self.orchestrator.recovery is not None:
+            self.orchestrator.recovery.bus = self.bus
         self.branch_probs = branch_probs or BranchProbabilities()
         self._field_stream = self.streams.stream("fields")
         self._payload_models: Dict[str, PayloadModel] = {}

@@ -59,3 +59,60 @@ class TestReport:
     def test_report_quotes_paper_claims(self):
         report = generate_report(scale="smoke", only=["table4"])
         assert PAPER_CLAIMS["table4"] in report
+
+
+class TestSparkline:
+    def test_empty_series_is_empty_string(self):
+        from repro.analysis.ascii_chart import sparkline
+
+        assert sparkline([]) == ""
+
+    def test_all_equal_nonzero_renders_mid_ramp(self):
+        from repro.analysis.ascii_chart import sparkline
+
+        out = sparkline([5.0, 5.0, 5.0])
+        assert len(out) == 3
+        assert len(set(out)) == 1
+        assert out[0] not in (" ",)  # visible, not blank
+
+    def test_all_zero_renders_blank_not_crash(self):
+        from repro.analysis.ascii_chart import sparkline
+
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_nan_renders_blank_column(self):
+        from repro.analysis.ascii_chart import sparkline
+
+        out = sparkline([2.0, float("nan"), 1.0, 3.0])
+        assert len(out) == 4
+        assert out[1] == " "  # NaN column is blank
+        # Normalization ignored the NaN: neighbours still span the ramp.
+        assert out[0] not in (" ", "@")
+        assert out[3] == "@"
+
+    def test_inf_clamps_to_ramp_ends(self):
+        from repro.analysis.ascii_chart import sparkline
+
+        out = sparkline([1.0, float("inf"), float("-inf"), 2.0])
+        assert out[1] == "@"  # top of the ramp
+        assert out[2] == " "  # bottom of the ramp
+
+    def test_all_non_finite_degrades(self):
+        from repro.analysis.ascii_chart import sparkline
+
+        out = sparkline([float("nan"), float("inf"), float("-inf")])
+        assert out == " @ "
+
+    def test_downsampling_skips_nan_within_buckets(self):
+        from repro.analysis.ascii_chart import sparkline
+
+        values = [1.0, float("nan")] * 60  # 120 points into 60 columns
+        out = sparkline(values, width=60)
+        assert len(out) == 60
+        assert " " not in out  # every bucket still has a finite sample
+
+    def test_invalid_width_rejected(self):
+        from repro.analysis.ascii_chart import sparkline
+
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)

@@ -90,3 +90,33 @@ def test_write_chrome_trace_round_trips(tmp_path):
     with open(path) as handle:
         loaded = json.load(handle)
     assert loaded == chrome_trace(tracer)
+
+
+def test_unclosed_spans_exported_not_dropped():
+    """Spans still open at export time are auto-closed and kept.
+
+    They used to be skipped silently, so a request in flight at the
+    horizon simply vanished from the trace.
+    """
+    from repro.obs import SpanTracer
+    from repro.sim import Environment
+
+    env = Environment()
+    tracer = SpanTracer(env)
+    tracer.begin("in-flight", "t")
+    tracer.complete("finished", "t", 0.0, 1.0)
+
+    def advance(env):
+        yield env.timeout(9.0)
+
+    env.process(advance(env))
+    env.run()
+    payload = chrome_trace(tracer)
+    names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "X"}
+    assert names == {"in-flight", "finished"}
+    stuck = next(
+        e for e in payload["traceEvents"] if e.get("name") == "in-flight"
+    )
+    assert stuck["args"]["unclosed"] is True
+    assert stuck["dur"] == 9.0 / 1000.0
+    assert payload["otherData"]["unclosed"] == 1

@@ -155,3 +155,57 @@ class TestMetricsRegistry:
         assert "alpha" in text and "beta" in text
         assert "min" in text and "max" in text
         assert "(no samples)" not in text
+
+
+class TestSparklineRow:
+    def test_empty_and_all_nan_degrade_to_text(self):
+        from repro.obs.metrics import sparkline_row
+
+        assert "(no samples)" in sparkline_row("x", [])
+        assert "(no finite samples)" in sparkline_row(
+            "x", [float("nan"), float("nan")]
+        )
+
+    def test_nan_tail_does_not_poison_summary(self):
+        from repro.obs.metrics import sparkline_row
+
+        row = sparkline_row("x", [1.0, 3.0, float("nan")])
+        assert "min 1.0" in row
+        assert "max 3.0" in row
+        assert "last 3.0" in row  # falls back to the last finite value
+        assert "nan" not in row
+
+    def test_all_equal_series_renders(self):
+        from repro.obs.metrics import sparkline_row
+
+        row = sparkline_row("x", [2.0, 2.0, 2.0])
+        assert "min 2.0" in row and "max 2.0" in row
+
+
+class TestBusPublishing:
+    def test_sampler_publishes_metric_samples(self):
+        from repro.obs import TelemetryBus
+        from repro.obs.telemetry import MetricSample
+
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=10.0, capacity=3)
+        registry.bus = TelemetryBus()
+        registry.gauge("depth", lambda: 4.0)
+        counter = {"n": 0}
+        registry.rate_gauge("rate", lambda: counter["n"])
+        registry.start()
+        env.run()
+        samples = registry.bus.recent(kinds=(MetricSample,))
+        by_name = {}
+        for s in samples:
+            by_name.setdefault(s.name, []).append(s.value)
+        assert by_name["depth"] == [4.0, 4.0, 4.0]
+        assert len(by_name["rate"]) == 3
+
+    def test_no_bus_no_publishing(self):
+        env = Environment()
+        registry = MetricsRegistry(env, interval_ns=10.0, capacity=2)
+        registry.gauge("depth", lambda: 1.0)
+        registry.start()
+        env.run()  # must not raise without a bus attached
+        assert registry.ticks == 2

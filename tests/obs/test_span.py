@@ -120,3 +120,44 @@ def test_invalid_parameters_rejected():
         SpanTracer(Environment(), sample_rate=1.5)
     with pytest.raises(ValueError):
         SpanTracer(Environment(), max_spans=0)
+
+
+def test_close_open_spans_auto_closes_with_marker():
+    env = Environment()
+    tracer = SpanTracer(env)
+    open_span = tracer.begin("stuck", "trackA")
+    tracer.complete("done", "trackA", 0.0, 1.0)
+
+    def advance(env):
+        yield env.timeout(7.0)
+
+    env.process(advance(env))
+    env.run()
+    closed = tracer.close_open_spans()
+    assert closed == 1
+    assert tracer.unclosed == 1
+    assert open_span.end_ns == 7.0
+    assert open_span.args == {"unclosed": True}
+    # Idempotent: nothing left open on a second pass.
+    assert tracer.close_open_spans() == 0
+    assert tracer.unclosed == 1
+
+
+def test_span_lifecycle_publishes_to_bus():
+    from repro.obs import TelemetryBus
+    from repro.obs.telemetry import SpanEnd
+
+    env = Environment()
+    tracer = SpanTracer(env)
+    tracer.bus = TelemetryBus()
+    span = tracer.begin("work", "t")
+    assert tracer.bus.published == 0  # begin does not publish
+    tracer.end(span)
+    tracer.complete("c", "t", 0.0, 2.0)
+    tracer.instant("i", "t")
+    events = tracer.bus.recent(kinds=(SpanEnd,))
+    assert [e.name for e in events] == ["work", "c", "i"]
+    leftover = tracer.begin("stuck", "t")
+    tracer.close_open_spans()
+    assert tracer.bus.recent(kinds=(SpanEnd,))[-1].name == "stuck"
+    assert leftover.args == {"unclosed": True}

@@ -48,10 +48,29 @@ def test_trace_export_example(tmp_path):
     assert {e["ph"] for e in payload["traceEvents"]} >= {"M", "X", "i"}
 
 
+def test_live_dashboard_example(tmp_path):
+    bundle_path = tmp_path / "incident.json"
+    out = run_example(
+        "live_dashboard.py",
+        "--requests", "300", "--seed", "0",
+        "--bundle-out", str(bundle_path),
+    )
+    assert "Calibrated SLO" in out
+    assert "fleet telemetry" in out
+    assert "slo-burn:UniqId" in out  # the alert feed shows the burn
+    assert "Alerts fired:" in out
+    assert "Incidents captured:" in out
+    assert "machine-failure" in out  # the correlation table names the fault
+    bundle = json.loads(bundle_path.read_text())
+    assert bundle["schema"] == "accelflow-incident/1"
+    assert all(e["ph"] in ("M", "X", "i") for e in bundle["trace"]["traceEvents"])
+
+
 @pytest.mark.parametrize("name", ["quickstart.py", "compile_traces.py",
                                   "custom_service.py", "serverless_burst.py",
                                   "compare_orchestrators.py",
-                                  "design_space.py", "trace_export.py"])
+                                  "design_space.py", "trace_export.py",
+                                  "live_dashboard.py"])
 def test_examples_exist_and_have_docstrings(name):
     path = EXAMPLES / name
     assert path.exists()
