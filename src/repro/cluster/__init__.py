@@ -24,6 +24,7 @@ from .balancer import (
 )
 from .cluster import MachineFailure, RequestStatus, SimulatedCluster
 from .driver import ClusterConfig, ClusterResult, run_cluster
+from .fluid import FLUID_TOLERANCES, FluidConfig, FluidTier
 from .machine import ClusterMachine, MachineState
 
 __all__ = [
@@ -38,6 +39,9 @@ __all__ = [
     "ClusterConfig",
     "ClusterMachine",
     "ClusterResult",
+    "FLUID_TOLERANCES",
+    "FluidConfig",
+    "FluidTier",
     "LeastOutstandingBalancer",
     "LoadBalancer",
     "MachineFailure",

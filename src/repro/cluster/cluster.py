@@ -34,6 +34,7 @@ from ..workloads.spec import ServiceSpec
 from .admission import AdmissionController, AdmissionDecision
 from .autoscaler import Autoscaler
 from .balancer import make_balancer
+from .fluid import FluidTier
 from .machine import ClusterMachine, MachineState
 
 __all__ = ["MachineFailure", "SimulatedCluster", "RequestStatus"]
@@ -53,6 +54,9 @@ class RequestStatus:
     OK = "ok"
     SHED = "shed"
     LOST = "lost"
+    #: Absorbed into the fluid tier as queue mass; completion and
+    #: latency are accounted analytically (see repro.cluster.fluid).
+    FLUID = "fluid"
 
 
 class SimulatedCluster:
@@ -74,6 +78,14 @@ class SimulatedCluster:
         )
         self.autoscaler = (
             Autoscaler(self, config.autoscaler) if config.autoscaler else None
+        )
+        #: The fluid-approximation tier, when configured (its CRN
+        #: streams are dedicated, so enabling it never perturbs the
+        #: draws of the exact simulation).
+        self.fluid = (
+            FluidTier(self, config.fluid)
+            if getattr(config, "fluid", None) is not None
+            else None
         )
 
         # Front-door request sampling (cluster-level streams, so the
@@ -190,6 +202,8 @@ class SimulatedCluster:
             return 0
         victims = machine.fail()
         self.machines_failed += 1
+        if self.fluid is not None:
+            self.fluid.on_machine_failed(machine)
         if self.tracer is not None:
             self.tracer.instant(
                 "machine-failure",
@@ -266,6 +280,50 @@ class SimulatedCluster:
             self._lifecycle(request), name=f"clreq-{request.rid}"
         )
 
+    def submit_internal(self, request: Request) -> Process:
+        """Lifecycle for a request already counted at the front door
+        (fluid-tier materialization re-entering the exact tier)."""
+        return self.env.process(
+            self._lifecycle(request), name=f"clreq-{request.rid}"
+        )
+
+    def submit_batch(self, spec: ServiceSpec, count: int) -> List:
+        """Admit ``count`` simultaneous arrivals (batched fluid path).
+
+        The batch is split between the exact and fluid sub-fleets in
+        proportion to machine counts (a binomial draw from a dedicated
+        CRN stream); the exact share runs full per-request lifecycles
+        and is returned as ``(service, arrival_ns, process)`` sink
+        entries, the fluid share enters the tier as mass spread evenly
+        over the fluid machines.
+        """
+        if count <= 0:
+            return []
+        fluid = self.fluid
+        machines = self.routable_machines()
+        fluid_machines = (
+            [m for m in machines if fluid.is_fluid(m)] if fluid is not None else []
+        )
+        exact_machines = [m for m in machines if m not in fluid_machines]
+        n_exact = count
+        if fluid_machines:
+            if exact_machines:
+                share = len(exact_machines) / len(machines)
+                n_exact = fluid._batch_stream.binomial(count, share)
+            else:
+                n_exact = 0
+        entries = []
+        for _ in range(n_exact):
+            request = self.make_request(spec)
+            entries.append((spec.name, request.arrival_ns, self.submit(request)))
+        n_fluid = count - n_exact
+        if n_fluid > 0:
+            self.total_arrivals += n_fluid
+            mass = n_fluid / len(fluid_machines)
+            for machine in fluid_machines:
+                fluid.absorb_mass(machine, spec, mass)
+        return entries
+
     def _lifecycle(self, request: Request):
         if self.admission is not None:
             decision = self.admission.decide(request)
@@ -309,6 +367,11 @@ class SimulatedCluster:
             if not machines:
                 return self._give_up(request)
             machine = self.balancer.pick(machines, request)
+            if self.fluid is not None and self.fluid.is_fluid(machine):
+                # Absorb into the fluid tier: the request becomes queue
+                # mass and its completion is accounted analytically.
+                self.fluid.absorb(machine, request)
+                return (RequestStatus.FLUID, request)
             proc = machine.submit(request)
             try:
                 yield proc
@@ -324,6 +387,8 @@ class SimulatedCluster:
             self.completed += 1
             if self.admission is not None:
                 self.admission.observe(request.latency_ns)
+            if self.fluid is not None:
+                self.fluid.observe_exact(request.spec.name, request.latency_ns)
             if self.bus is not None:
                 self.bus.publish(
                     RequestEnd(
@@ -389,6 +454,15 @@ class SimulatedCluster:
         )
         registry.rate_gauge("cluster:rps", lambda: float(self.completed))
         registry.rate_gauge("cluster:shed_rps", lambda: float(self.shed))
+        if self.fluid is not None:
+            # Registered only when the tier exists so a fluid-free run's
+            # telemetry stream is untouched.
+            registry.gauge(
+                "cluster:fluid_fraction", lambda: self.fluid.fluid_fraction()
+            )
+            registry.gauge(
+                "cluster:fluid_mass", lambda: self.fluid.total_mass()
+            )
 
     # ------------------------------------------------------------------
     # Reporting
@@ -410,4 +484,5 @@ class SimulatedCluster:
             "admission": (
                 self.admission.stats() if self.admission is not None else None
             ),
+            "fluid": self.fluid.stats() if self.fluid is not None else None,
         }

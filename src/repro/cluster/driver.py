@@ -31,6 +31,7 @@ from ..workloads.spec import ServiceSpec
 from .admission import AdmissionConfig
 from .autoscaler import AutoscalerConfig
 from .cluster import MachineFailure, RequestStatus, SimulatedCluster
+from .fluid import FluidConfig
 
 __all__ = ["ClusterConfig", "ClusterResult", "run_cluster"]
 
@@ -78,6 +79,9 @@ class ClusterConfig:
     registry: Optional[TraceRegistry] = None
     #: Cluster-level observability (fleet gauges, control-plane spans).
     obs: Optional[ObsConfig] = None
+    #: Fluid-approximation tier (None = every request simulates
+    #: exactly; see :mod:`repro.cluster.fluid`).
+    fluid: Optional[FluidConfig] = None
 
     def machine_params_for(self, index: int) -> MachineParams:
         params = self.machine_params or MachineParams()
@@ -113,6 +117,8 @@ class ClusterResult:
     autoscaler_stats: Optional[Dict] = None
     admission_stats: Optional[Dict] = None
     offered_rps: Dict[str, float] = dataclass_field(default_factory=dict)
+    #: Fluid-tier accounting (``FluidTier.stats()``), None without the tier.
+    fluid_stats: Optional[Dict] = None
     #: The cluster itself, for white-box tests (not for shard payloads).
     cluster: Optional[SimulatedCluster] = dataclass_field(
         default=None, repr=False, compare=False
@@ -124,6 +130,55 @@ class ClusterResult:
 
     def mean_ns(self) -> float:
         return self.recorder.mean()
+
+    # -- fluid-tier merges ------------------------------------------------
+    def fluid_completed_mass(self) -> float:
+        return sum(s.fluid_completed_mass for s in self.services.values())
+
+    def merged_completed(self) -> float:
+        """Exact completions plus analytically completed fluid mass."""
+        return self.completed + self.fluid_completed_mass()
+
+    def merged_throughput_rps(self) -> float:
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.merged_completed() / (self.elapsed_ns * 1e-9)
+
+    def merged_mean_ns(self) -> float:
+        """Mean latency over exact samples and fluid estimates, weighted
+        by how much work each tier completed."""
+        exact_n = len(self.recorder)
+        fluid_mass = self.fluid_completed_mass()
+        total = exact_n + fluid_mass
+        if total <= 0:
+            raise ValueError("no completed requests")
+        exact_part = self.recorder.mean() * exact_n if exact_n else 0.0
+        fluid_part = sum(
+            s.fluid_completed_mass * s.fluid_mean_latency_ns
+            for s in self.services.values()
+        )
+        return (exact_part + fluid_part) / total
+
+    def jobs_integral_ns(self) -> float:
+        """Integral of jobs-in-system over the run (job-ns): exact
+        samples contribute their summed latency (Little's law), fluid
+        queues their mass integral. Window-independent, so it is the
+        apples-to-apples 'utilization' metric the validation harness
+        compares across tiers (the time-normalized mean would be
+        skewed by the tiers' different drain-tail lengths)."""
+        exact = sum(self.recorder.samples)
+        fluid = (
+            self.fluid_stats["mass_integral_ns"]
+            if self.fluid_stats is not None
+            else 0.0
+        )
+        return exact + fluid
+
+    def mean_outstanding(self) -> float:
+        """Time-averaged jobs in the system over the run's own window."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return self.jobs_integral_ns() / self.elapsed_ns
 
     def mean_p99_ns(self) -> float:
         """Unweighted mean of per-service P99s (the paper's averages)."""
@@ -164,6 +219,29 @@ def _source(cluster: SimulatedCluster, spec: ServiceSpec,
         sink.append((spec.name, request.arrival_ns, cluster.submit(request)))
 
 
+def _batched_source(cluster: SimulatedCluster, spec: ServiceSpec,
+                    config: ClusterConfig, sink: List):
+    """Process: batched per-quantum Poisson arrivals for one service.
+
+    The fleet-scale fast path (``FluidConfig.batched``): instead of one
+    timeout per request, each fluid quantum admits a Poisson-sized
+    batch at the front door in one event. Uses its own CRN stream, so
+    flipping ``batched`` never perturbs the per-request arrival stream.
+    """
+    rate = config.rate_rps if config.rate_rps is not None else spec.rate_rps
+    rate *= config.rate_scale
+    quantum = config.fluid.quantum_ns
+    stream = cluster.streams.stream(f"arrivals-batched/{spec.name}")
+    mean = rate * quantum / _SECOND_NS
+    remaining = config.requests_per_service
+    while remaining > 0:
+        yield cluster.env.timeout(quantum)
+        count = min(remaining, stream.poisson(mean))
+        if count:
+            sink.extend(cluster.submit_batch(spec, count))
+            remaining -= count
+
+
 def run_cluster(
     services: List[ServiceSpec], config: ClusterConfig
 ) -> ClusterResult:
@@ -171,8 +249,10 @@ def run_cluster(
     cluster = SimulatedCluster(config)
     env = cluster.env
     sink: List = []
+    batched = config.fluid is not None and config.fluid.batched
+    source_fn = _batched_source if batched else _source
     sources = [
-        env.process(_source(cluster, spec, config, sink), name=f"src-{spec.name}")
+        env.process(source_fn(cluster, spec, config, sink), name=f"src-{spec.name}")
         for spec in services
     ]
     # Horizon: expected arrival span of the slowest source + drain.
@@ -182,11 +262,28 @@ def run_cluster(
         for spec in services
     )
     horizon_ns = span * _SECOND_NS + config.drain_ns
+    if cluster.fluid is not None:
+        cluster.fluid.start(services, horizon_ns)
 
     def _watch_completion(env):
         for source in sources:
             yield source
         yield env.all_of([proc for _, _, proc in sink])
+        fluid = cluster.fluid
+        if fluid is not None:
+            # Wait for the analytical queues to drain (mass decays
+            # exponentially, so "drained" means below a negligible
+            # threshold) and for materialized requests to finish; the
+            # horizon still bounds an unstable fluid queue.
+            while True:
+                pending = [
+                    proc
+                    for _, _, proc in fluid.materialized_sink
+                    if not proc.triggered
+                ]
+                if fluid.total_mass() <= 0.05 and not pending:
+                    break
+                yield env.timeout(config.fluid.quantum_ns)
 
     watcher = env.process(_watch_completion(env))
     env.run(until=env.any_of([watcher, env.timeout(horizon_ns)]))
@@ -196,17 +293,29 @@ def run_cluster(
         for spec in services
     }
     recorder = LatencyRecorder(warmup_fraction=config.warmup_fraction)
-    for name, arrival_ns, proc in sink:
+    materialized = (
+        cluster.fluid.materialized_sink if cluster.fluid is not None else []
+    )
+    for name, arrival_ns, proc in list(sink) + list(materialized):
         result = results[name]
         if not proc.triggered:
             # Still in flight at the horizon.
             result.record_censored(env.now - arrival_ns)
             continue
         status, request = proc.value
-        if status == RequestStatus.SHED:
-            continue  # counted by the cluster, carries no latency
+        if status in (RequestStatus.SHED, RequestStatus.FLUID):
+            continue  # counted by the cluster, carries no latency sample
         result.record(request)
         recorder.record(request.latency_ns)
+    if cluster.fluid is not None:
+        for name, result in results.items():
+            summary = cluster.fluid.service_summary(name)
+            result.record_fluid(
+                summary["completed_mass"],
+                summary["mean_latency_ns"],
+                residual_mass=summary["residual_mass"],
+                est_p99_ns=summary["est_p99_ns"],
+            )
 
     stats = cluster.stats()
     return ClusterResult(
@@ -230,5 +339,6 @@ def run_cluster(
             spec.name: (config.rate_rps or spec.rate_rps) * config.rate_scale
             for spec in services
         },
+        fluid_stats=stats["fluid"],
         cluster=cluster,
     )

@@ -1,0 +1,458 @@
+"""Cluster integration of the fluid tier: config, calibration, handoff.
+
+:class:`FluidTier` is the bridge between the analytical machinery in
+:mod:`repro.sim.fluid` and the exact cluster simulation: it decides per
+machine (via a :class:`~repro.sim.fluid.TierPolicy`) whether requests
+routed there are simulated exactly or absorbed as fluid mass, owns the
+per-(machine, service) :class:`~repro.sim.fluid.FluidQueue` shims, and
+handles the two direction changes:
+
+* **exact -> fluid** needs no handoff: future arrivals are absorbed as
+  mass at the front door; in-flight discrete requests finish exactly.
+* **fluid -> exact** *materializes* the machine's queued mass back into
+  discrete requests, deterministically from dedicated CRN streams
+  (``fluid/materialize``, ``fluid/fields``, ``fluid/payload/*``), so a
+  run with the fluid tier enabled is exactly reproducible and adding
+  the tier never perturbs the pre-existing streams.
+
+Calibration: the fluid model needs a per-service service rate ``mu``.
+Machines start exact; the cluster feeds every exact completion's
+latency into the tier, and once each service has
+``calibrate_requests`` samples (or an explicit ``service_time_ns``
+override) machines may go fluid. The calibrated mean latency doubles
+as ``1/mu`` and the calibration sample's p99/mean ratio shapes the
+fluid tier's p99 estimate.
+
+Approximations (documented; the validation harness
+``tests/sim/test_fluid_accuracy.py`` bounds their effect):
+
+* A fluid machine is one M/M/k queue per service with
+  ``effective_servers`` shared servers; cross-service contention on a
+  machine is not modelled.
+* Materialized requests restart their latency clock — time already
+  spent as mass is dropped. Only matters across tier flips.
+* Fluid mass bypasses per-request admission and balancer policy
+  detail (batched arrivals split by machine count).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..sim import percentile
+from ..sim.fluid import (
+    EXACT,
+    FLUID,
+    FluidQueue,
+    FluidStepper,
+    StaticTierPolicy,
+    TierPolicy,
+    UtilizationTierPolicy,
+)
+from ..workloads.payloads import PayloadModel
+from ..workloads.request import Request
+from ..workloads.spec import ServiceSpec
+
+__all__ = ["FluidConfig", "FluidTier", "FLUID_TOLERANCES"]
+
+#: Documented fluid-vs-exact accuracy bands (fractional error) that the
+#: differential harness asserts and ``docs/performance.md`` quotes.
+#: Keyed by comparison metric; see ``tests/sim/test_fluid_accuracy.py``.
+FLUID_TOLERANCES = {
+    "throughput": 0.05,
+    "mean_latency": 0.25,
+    "utilization": 0.25,
+}
+
+
+@dataclass(frozen=True)
+class FluidConfig:
+    """Configuration of the cluster's fluid-approximation tier.
+
+    Presence of a ``FluidConfig`` on a :class:`ClusterConfig` enables
+    the tier; ``policy="static"`` with an empty ``fluid_machines`` is
+    the degenerate all-exact setup (byte-identical to ``fluid=None``,
+    asserted by the validation harness).
+    """
+
+    #: "static" (fixed ``fluid_machines``) or "auto" (utilization
+    #: hysteresis per machine).
+    policy: str = "static"
+    #: Machine indices pinned fluid under the static policy.
+    fluid_machines: Tuple[int, ...] = ()
+    #: Sim-time quantum of the fluid stepper.
+    quantum_ns: float = 0.25e6
+    #: Auto-policy hysteresis thresholds on offered utilization.
+    go_fluid_below: float = 0.4
+    go_exact_above: float = 0.75
+    #: Exact completions per service required before machines may go
+    #: fluid (ignored for services with a ``service_time_ns`` override).
+    calibrate_requests: int = 25
+    #: Explicit per-service mean service time (ns); skips calibration.
+    service_time_ns: Mapping[str, float] = dataclass_field(default_factory=dict)
+    #: Servers of the per-(machine, service) M/M/k model. Matches the
+    #: paper server's 36 cores; latency is insensitive to it at the low
+    #: utilizations where the fluid tier is accurate.
+    effective_servers: int = 36
+    #: Generate arrivals in per-quantum Poisson batches instead of one
+    #: timeout per request — the fleet-scale fast path. Changes the
+    #: arrival stream, so accuracy comparisons use ``batched=False``.
+    batched: bool = False
+    #: EWMA smoothing for per-queue arrival-rate estimates.
+    rate_alpha: float = 0.3
+
+    def make_policy(self) -> TierPolicy:
+        if self.policy == "static":
+            return StaticTierPolicy(self.fluid_machines)
+        if self.policy == "auto":
+            return UtilizationTierPolicy(self.go_fluid_below, self.go_exact_above)
+        raise ValueError(f"unknown fluid tier policy {self.policy!r}")
+
+
+class FluidTier:
+    """Runtime coordinator of the fluid tier inside one cluster."""
+
+    def __init__(self, cluster, config: FluidConfig):
+        self.cluster = cluster
+        self.config = config
+        self.policy = config.make_policy()
+        self.stepper: Optional[FluidStepper] = None
+        self._specs: Dict[str, ServiceSpec] = {}
+        #: (machine index, service name) -> FluidQueue
+        self.queues: Dict[Tuple[int, str], FluidQueue] = {}
+        self._tiers: Dict[int, str] = {}
+        #: Calibration latency samples per service (exact completions).
+        self._calibration: Dict[str, List[float]] = {}
+        self._service_time: Dict[str, float] = dict(config.service_time_ns)
+        self._p99_ratio: Dict[str, float] = {}
+        #: Per-machine EWMA arrival-rate estimate + last-seen arrival
+        #: count, for the symmetric utilization signal of the auto
+        #: policy (works the same whether the machine is fluid or exact).
+        self._rate_estimate: Dict[int, float] = {}
+        self._arrival_marks: Dict[int, float] = {}
+        self._absorbed_per_machine: Dict[int, float] = {}
+        self._last_eval_ns = 0.0
+        # Dedicated CRN streams: adding the fluid tier must not perturb
+        # any pre-existing stream, and materialization must be exactly
+        # reproducible.
+        self._materialize_stream = cluster.streams.stream("fluid/materialize")
+        self._batch_stream = cluster.streams.stream("fluid/batch-split")
+        self._field_stream = cluster.streams.stream("fluid/fields")
+        self._payload_models: Dict[str, PayloadModel] = {}
+        # Counters / accounting (absorbed is a float: batched arrivals
+        # spread fractional mass across machines).
+        self.absorbed = 0.0
+        self.materialized = 0
+        self.materialized_mass = 0.0
+        self.tier_flips = 0
+        self.lost_mass = 0.0
+        #: ``(service name, arrival_ns, lifecycle process)`` triples of
+        #: materialized requests, folded by the driver like the sink.
+        self.materialized_sink: List[Tuple[str, float, object]] = []
+        self._fraction_integral_ns = 0.0
+        self._fraction_elapsed_ns = 0.0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def start(self, services: List[ServiceSpec], until_ns: float) -> None:
+        """Begin stepping; called by the driver once the horizon is known."""
+        self._specs = {spec.name: spec for spec in services}
+        for name in self._specs:
+            self._calibration.setdefault(name, [])
+        self.stepper = FluidStepper(
+            self.cluster.env,
+            quantum_ns=self.config.quantum_ns,
+            until_ns=until_ns,
+            on_step=self._on_step,
+        )
+        self._last_eval_ns = self.cluster.env.now
+        self.stepper.start()
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+    def observe_exact(self, service: str, latency_ns: float) -> None:
+        """Feed an exact completion into the calibration set."""
+        samples = self._calibration.setdefault(service, [])
+        if len(samples) < max(self.config.calibrate_requests, 2):
+            samples.append(latency_ns)
+
+    def service_time(self, service: str) -> float:
+        """Calibrated (or overridden) mean service time for ``service``."""
+        override = self._service_time.get(service)
+        if override is not None:
+            return override
+        samples = self._calibration.get(service, ())
+        if not samples:
+            raise KeyError(f"service {service!r} is not calibrated yet")
+        mean = sum(samples) / len(samples)
+        self._service_time[service] = mean  # freeze on first use
+        self._p99_ratio[service] = percentile(sorted(samples), 99.0) / mean
+        return mean
+
+    def p99_ratio(self, service: str) -> float:
+        """p99/mean shape ratio from the calibration samples (>= 1)."""
+        return max(1.0, self._p99_ratio.get(service, 1.0))
+
+    def _service_calibrated(self, service: str) -> bool:
+        if service in self._service_time:
+            return True
+        samples = self._calibration.get(service, ())
+        return len(samples) >= self.config.calibrate_requests
+
+    def ready(self) -> bool:
+        """True once every known service can be modelled analytically."""
+        if not self._specs:
+            return False
+        return all(self._service_calibrated(name) for name in self._specs)
+
+    # ------------------------------------------------------------------
+    # Tier state
+    # ------------------------------------------------------------------
+    def tier_of(self, machine) -> str:
+        return self._tiers.get(machine.index, EXACT)
+
+    def is_fluid(self, machine) -> bool:
+        return self._tiers.get(machine.index, EXACT) == FLUID
+
+    def fluid_fraction(self) -> float:
+        """Instantaneous fraction of active machines running fluid."""
+        active = self.cluster.active_machines()
+        if not active:
+            return 0.0
+        fluid = sum(1 for m in active if self.is_fluid(m))
+        return fluid / len(active)
+
+    def mean_fluid_fraction(self) -> float:
+        """Time-weighted fluid fraction over the run."""
+        if self._fraction_elapsed_ns <= 0:
+            return 0.0
+        return self._fraction_integral_ns / self._fraction_elapsed_ns
+
+    def total_mass(self) -> float:
+        return sum(queue.mass for queue in self.queues.values())
+
+    # ------------------------------------------------------------------
+    # Intake (exact -> fluid direction)
+    # ------------------------------------------------------------------
+    def _queue_for(self, machine_index: int, service: str) -> FluidQueue:
+        key = (machine_index, service)
+        queue = self.queues.get(key)
+        if queue is None:
+            queue = FluidQueue(
+                f"m{machine_index}/{service}",
+                service_time_ns=self.service_time(service),
+                servers=self.config.effective_servers,
+                start_ns=self.cluster.env.now,
+                rate_alpha=self.config.rate_alpha,
+            )
+            self.queues[key] = queue
+        return queue
+
+    def absorb(self, machine, request: Request) -> None:
+        """Absorb one front-door request into the machine's fluid mass."""
+        self._queue_for(machine.index, request.spec.name).arrive(1.0)
+        self.absorbed += 1
+        self._absorbed_per_machine[machine.index] = (
+            self._absorbed_per_machine.get(machine.index, 0) + 1
+        )
+        machine.fluid_mass += 1.0
+
+    def absorb_mass(self, machine, spec: ServiceSpec, mass: float) -> None:
+        """Absorb ``mass`` batched arrivals at once (fleet fast path)."""
+        if mass <= 0:
+            return
+        self._queue_for(machine.index, spec.name).arrive(mass)
+        self.absorbed += mass
+        self._absorbed_per_machine[machine.index] = (
+            self._absorbed_per_machine.get(machine.index, 0) + mass
+        )
+        machine.fluid_mass += mass
+
+    # ------------------------------------------------------------------
+    # Handoff (fluid -> exact direction)
+    # ------------------------------------------------------------------
+    def materialize(self, machine) -> int:
+        """Turn the machine's queued mass back into discrete requests.
+
+        The integer part of each queue's mass materializes directly;
+        the fractional remainder becomes one more request with the
+        matching Bernoulli probability, so the *expected* materialized
+        count equals the mass and the realization is deterministic in
+        the CRN stream. Returns the number of requests created.
+        """
+        created = 0
+        for (index, service), queue in sorted(self.queues.items()):
+            if index != machine.index or queue.mass <= 0:
+                continue
+            whole = math.floor(queue.mass)
+            frac = queue.mass - whole
+            count = whole + (
+                1 if frac > 0 and self._materialize_stream.bernoulli(frac) else 0
+            )
+            self.materialized_mass += queue.mass
+            queue.remove_mass(queue.mass)
+            for _ in range(count):
+                request = self._make_request(self._specs[service])
+                proc = self.cluster.submit_internal(request)
+                self.materialized_sink.append(
+                    (service, request.arrival_ns, proc)
+                )
+            created += count
+        self.materialized += created
+        machine.fluid_mass = 0.0
+        return created
+
+    def _make_request(self, spec: ServiceSpec) -> Request:
+        """Sample a materialized request from the tier's own streams."""
+        probs = self.cluster.config.resolved_branch_probs().as_dict()
+        state = {
+            field: self._field_stream.bernoulli(p) for field, p in probs.items()
+        }
+        model = self._payload_models.get(spec.name)
+        if model is None:
+            model = PayloadModel(
+                self.cluster.streams.stream(f"fluid/payload/{spec.name}"),
+                median_bytes=spec.wire_median_bytes,
+            )
+            self._payload_models[spec.name] = model
+        return Request(
+            spec,
+            arrival_ns=self.cluster.env.now,
+            state=state,
+            wire_size=model.sample_wire_size(),
+            tenant=spec.tenant,
+            priority=spec.priority,
+        )
+
+    def on_machine_failed(self, machine) -> None:
+        """A fluid machine died: its queued mass is lost work."""
+        for (index, _service), queue in self.queues.items():
+            if index == machine.index and queue.mass > 0:
+                self.lost_mass += queue.mass
+                queue.remove_mass(queue.mass)
+        machine.fluid_mass = 0.0
+        self._tiers[machine.index] = EXACT
+
+    # ------------------------------------------------------------------
+    # Per-quantum evaluation (stepper hook)
+    # ------------------------------------------------------------------
+    def _on_step(self, now_ns: float) -> None:
+        # Register queues created since the last step with the stepper.
+        stepper = self.stepper
+        registered = len(stepper.queues)
+        if registered < len(self.queues):
+            known = set(id(q) for q in stepper.queues)
+            for key in sorted(self.queues):
+                queue = self.queues[key]
+                if id(queue) not in known:
+                    queue.step(now_ns)
+                    stepper.register(queue)
+        dt = now_ns - self._last_eval_ns
+        self._last_eval_ns = now_ns
+        ready = self.ready()
+        active = self.cluster.active_machines()
+        fluid_count = 0
+        alpha = self.config.rate_alpha
+        for machine in active:
+            # Symmetric arrival-rate signal: dispatched (exact) plus
+            # absorbed (fluid) since the previous step.
+            arrivals = machine.dispatched + self._absorbed_per_machine.get(
+                machine.index, 0
+            )
+            mark = self._arrival_marks.get(machine.index, arrivals)
+            self._arrival_marks[machine.index] = arrivals
+            if dt > 0:
+                instant = (arrivals - mark) / dt
+                rate = self._rate_estimate.get(machine.index, 0.0)
+                rate += alpha * (instant - rate)
+                self._rate_estimate[machine.index] = rate
+            utilization = self._offered_utilization(machine.index)
+            current = self._tiers.get(machine.index, EXACT)
+            desired = self.policy.decide(machine.index, current, utilization)
+            if desired == FLUID and not ready:
+                desired = EXACT
+            if desired != current:
+                self._tiers[machine.index] = desired
+                self.tier_flips += 1
+                if desired == EXACT:
+                    self.materialize(machine)
+            if desired == FLUID:
+                fluid_count += 1
+            # Refresh the occupancy signal the balancer reads.
+            machine.fluid_mass = sum(
+                queue.mass
+                for (index, _s), queue in self.queues.items()
+                if index == machine.index
+            )
+        if dt > 0 and active:
+            self._fraction_integral_ns += dt * (fluid_count / len(active))
+            self._fraction_elapsed_ns += dt
+
+    def _offered_utilization(self, machine_index: int) -> float:
+        """rho-hat = lambda-hat / (k mu-bar) for one machine, where
+        mu-bar averages the calibrated service rates (uncalibrated
+        services contribute nothing, which keeps machines exact)."""
+        rate = self._rate_estimate.get(machine_index, 0.0)
+        if rate <= 0:
+            return 0.0
+        times = [
+            self.service_time(name)
+            for name in self._specs
+            if self._service_calibrated(name)
+        ]
+        if not times:
+            return 1.0  # unknown service mix: report hot, stay exact
+        mean_time = sum(times) / len(times)
+        return rate * mean_time / self.config.effective_servers
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def service_summary(self, service: str) -> Dict[str, float]:
+        """Aggregate fluid-tier estimates for one service."""
+        completed = 0.0
+        latency_mass = 0.0
+        residual = 0.0
+        arrived = 0.0
+        for (_index, name), queue in self.queues.items():
+            if name != service:
+                continue
+            completed += queue.completed_mass
+            latency_mass += queue.latency_mass_ns
+            residual += queue.mass
+            arrived += queue.arrived_mass
+        mean_latency = latency_mass / completed if completed > 0 else 0.0
+        return {
+            "arrived_mass": arrived,
+            "completed_mass": completed,
+            "residual_mass": residual,
+            "mean_latency_ns": mean_latency,
+            "est_p99_ns": mean_latency * self.p99_ratio(service),
+        }
+
+    def mass_integral_ns(self) -> float:
+        """Sum of the jobs-in-system integrals (for Little's-law
+        comparisons against the exact tier)."""
+        return sum(queue.mass_integral_ns for queue in self.queues.values())
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "policy": self.config.policy,
+            "absorbed": self.absorbed,
+            "materialized": self.materialized,
+            "materialized_mass": self.materialized_mass,
+            "tier_flips": self.tier_flips,
+            "lost_mass": self.lost_mass,
+            "residual_mass": self.total_mass(),
+            "mass_integral_ns": self.mass_integral_ns(),
+            "fluid_fraction": self.fluid_fraction(),
+            "mean_fluid_fraction": self.mean_fluid_fraction(),
+            "steps": self.stepper.steps if self.stepper is not None else 0,
+            "services": {
+                name: self.service_summary(name) for name in sorted(self._specs)
+            },
+        }

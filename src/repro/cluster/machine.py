@@ -60,6 +60,10 @@ class ClusterMachine:
         self.dispatched_at_death: Optional[int] = None
         #: Requests interrupted mid-flight when the machine died.
         self.killed_inflight = 0
+        #: Queued fluid-tier mass on this machine (0.0 unless the
+        #: cluster's fluid tier marked the machine fluid); folded into
+        #: the occupancy signals so balancers see fluid work too.
+        self.fluid_mass = 0.0
         self._outstanding: Dict[int, Process] = {}
 
     # -- lifecycle ---------------------------------------------------------
@@ -121,7 +125,7 @@ class ClusterMachine:
     # -- occupancy signals -------------------------------------------------
     @property
     def outstanding_count(self) -> int:
-        return len(self._outstanding)
+        return len(self._outstanding) + int(self.fluid_mass + 0.5)
 
     def ldb_occupancy(self) -> int:
         """Input occupancy of the load-balancing accelerator (LdB)."""
@@ -137,7 +141,11 @@ class ClusterMachine:
         remote waits, so it measures capacity actually consumed *here*.
         """
         depths = self.server.hardware.queue_depths()
-        return float(sum(depths.values()) + self.server.hardware.cores.in_use)
+        return float(
+            sum(depths.values())
+            + self.server.hardware.cores.in_use
+            + self.fluid_mass
+        )
 
     # -- reporting ---------------------------------------------------------
     def stats(self) -> Dict[str, object]:
@@ -147,6 +155,7 @@ class ClusterMachine:
             "dispatched": self.dispatched,
             "completed": self.completed,
             "outstanding": self.outstanding_count,
+            "fluid_mass": self.fluid_mass,
             "killed_inflight": self.killed_inflight,
             "added_at_ns": self.added_at_ns,
             "died_at_ns": self.died_at_ns,

@@ -18,6 +18,7 @@ from . import (
     fig20_generations,
     fig_cluster,
     fig_faults,
+    fig_fluid,
     sensitivity,
     table1_connectivity,
     table2_traces,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "fig20": fig20_generations.run,
     "fig_cluster": fig_cluster.run,
     "fig_faults": fig_faults.run,
+    "fig_fluid": fig_fluid.run,
     "sens-interchiplet": sensitivity.run_interchiplet,
     "sens-speedups": sensitivity.run_speedups,
     "sens-adaptive": sensitivity.run_adaptive,
@@ -77,6 +79,7 @@ SHARDED = {
     "fig20": fig20_generations.SHARDED,
     "fig_cluster": fig_cluster.SHARDED,
     "fig_faults": fig_faults.SHARDED,
+    "fig_fluid": fig_fluid.SHARDED,
     "sens-interchiplet": sensitivity.SHARDED_INTERCHIPLET,
     "sens-speedups": sensitivity.SHARDED_SPEEDUPS,
     "sens-adaptive": sensitivity.SHARDED_ADAPTIVE,

@@ -191,6 +191,15 @@ class Dashboard:
                     f"  slo       {self._gauge_bar(fraction)} "
                     f"{100.0 * fraction:6.1f}% of {target_ns * _US:,.1f} us target"
                 )
+        fluid_fraction = self.gauges.get("cluster:fluid_fraction")
+        if fluid_fraction is not None:
+            # Only clusters running the fluid-approximation tier publish
+            # this gauge (see repro.cluster.fluid).
+            lines.append(
+                f"fluid tier  {self._gauge_bar(fluid_fraction)} "
+                f"{100.0 * fluid_fraction:5.1f}% of fleet   queued mass "
+                f"{self.gauges.get('cluster:fluid_mass', 0.0):8,.1f}"
+            )
         fault_total = sum(self.faults.values())
         lines.append(
             f"breakers open {self.open_breakers}   watchdogs {self.watchdog_timeouts}"

@@ -29,6 +29,14 @@ class ServiceResult:
         self.recovered_timeouts = 0
         self.fallback_requests = 0
         self.component_sums: Dict[str, float] = {b: 0.0 for b in Buckets.ALL}
+        #: Work completed analytically by the cluster's fluid tier
+        #: (continuous mass, not discrete samples) plus its latency
+        #: estimates; merged with the exact samples by the
+        #: ``merged_*`` accessors. All zero for fluid-free runs.
+        self.fluid_completed_mass = 0.0
+        self.fluid_mean_latency_ns = 0.0
+        self.fluid_est_p99_ns = 0.0
+        self.fluid_residual_mass = 0.0
 
     def record(self, request: Request) -> None:
         self.recorder.record(request.latency_ns)
@@ -50,12 +58,52 @@ class ServiceResult:
         self.recorder.record(latency_so_far_ns)
         self.censored += 1
 
+    def record_fluid(
+        self,
+        completed_mass: float,
+        mean_latency_ns: float,
+        residual_mass: float = 0.0,
+        est_p99_ns: float = 0.0,
+    ) -> None:
+        """Fold in the fluid tier's analytical completions for this
+        service (see :mod:`repro.cluster.fluid`)."""
+        self.fluid_completed_mass = completed_mass
+        self.fluid_mean_latency_ns = mean_latency_ns
+        self.fluid_residual_mass = residual_mass
+        self.fluid_est_p99_ns = est_p99_ns
+
     # -- derived -------------------------------------------------------------
     def p99_ns(self) -> float:
         return self.recorder.p99()
 
     def mean_ns(self) -> float:
         return self.recorder.mean()
+
+    def merged_completed(self) -> float:
+        """Exact completions plus analytically completed fluid mass."""
+        return self.completed + self.fluid_completed_mass
+
+    def merged_mean_ns(self) -> float:
+        """Mean latency across both tiers, weighted by completed work."""
+        exact_n = len(self.recorder)
+        total = exact_n + self.fluid_completed_mass
+        if total <= 0:
+            raise ValueError(f"service {self.name!r} completed no requests")
+        exact_part = self.recorder.mean() * exact_n if exact_n else 0.0
+        return (
+            exact_part + self.fluid_completed_mass * self.fluid_mean_latency_ns
+        ) / total
+
+    def merged_p99_ns(self) -> float:
+        """P99 across both tiers: the exact empirical P99 when exact
+        samples dominate, otherwise the fluid estimate (calibration
+        p99/mean shape ratio applied to the fluid mean)."""
+        exact_n = len(self.recorder)
+        if exact_n >= self.fluid_completed_mass and exact_n > 0:
+            return self.recorder.p99()
+        if self.fluid_completed_mass > 0:
+            return self.fluid_est_p99_ns
+        return self.recorder.p99()
 
     def component_fractions(self) -> Dict[str, float]:
         total = sum(self.component_sums.values())

@@ -12,6 +12,17 @@ from .core import (
     SimulationError,
     Timeout,
 )
+from .fluid import (
+    FluidQueue,
+    FluidStepper,
+    MMKSteadyState,
+    StaticTierPolicy,
+    TierPolicy,
+    UtilizationTierPolicy,
+    erlang_b,
+    erlang_c,
+    mmk_steady_state,
+)
 from .monitor import (
     Counter,
     LatencyRecorder,
@@ -32,9 +43,12 @@ __all__ = [
     "Environment",
     "Event",
     "FilterStore",
+    "FluidQueue",
+    "FluidStepper",
     "Interrupt",
     "KernelProfile",
     "LatencyRecorder",
+    "MMKSteadyState",
     "PriorityItem",
     "PriorityResource",
     "PriorityStore",
@@ -43,11 +57,17 @@ __all__ = [
     "Resource",
     "SimulationError",
     "SlidingWindow",
+    "StaticTierPolicy",
     "Store",
     "Stream",
+    "TierPolicy",
     "TimeWeightedValue",
     "Timeout",
+    "UtilizationTierPolicy",
     "derive_seed",
+    "erlang_b",
+    "erlang_c",
+    "mmk_steady_state",
     "percentile",
     "summarize",
 ]

@@ -572,6 +572,17 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def scheduled_events(self) -> int:
+        """Total events scheduled so far (monotonic).
+
+        Deterministic for a deterministic simulation, so experiments
+        use it as a machine-independent work proxy (e.g. the fluid
+        tier's event-reduction figures) where wall-clock would make
+        golden fixtures unstable.
+        """
+        return self._eid
+
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         self._eid += 1
         heappush(self._queue, (self._now + delay, priority, self._eid, event))

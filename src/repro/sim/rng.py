@@ -93,6 +93,43 @@ class Stream:
     def normal(self, mean: float, std: float) -> float:
         return self._rng.gauss(mean, std)
 
+    def poisson(self, mean: float) -> int:
+        """Poisson variate with the given mean.
+
+        Knuth's product method below ``mean < 64`` (one uniform per
+        unit of mean, exact); above that a rounded normal approximation
+        (one gauss draw) — the batched fluid arrival path uses large
+        per-quantum means where the approximation error is far below
+        the fluid tier's documented tolerance.
+        """
+        if mean < 0:
+            raise ValueError(f"mean must be >= 0, got {mean}")
+        if mean == 0:
+            return 0
+        if mean < 64.0:
+            limit = math.exp(-mean)
+            count = 0
+            product = self._rng.random()
+            while product > limit:
+                count += 1
+                product *= self._rng.random()
+            return count
+        return max(0, round(self._rng.gauss(mean, math.sqrt(mean))))
+
+    def binomial(self, n: int, p: float) -> int:
+        """Binomial variate: successes in ``n`` Bernoulli(p) trials.
+
+        Plain inversion by summed Bernoulli trials — n is small on the
+        batched-arrival split path, and a fixed n draws per call keeps
+        stream alignment independent of the outcome.
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got {p}")
+        rnd = self._rng.random
+        return sum(1 for _ in range(n) if rnd() < p)
+
     def triangular(self, low: float, high: float, mode: float) -> float:
         return self._rng.triangular(low, high, mode)
 

@@ -61,6 +61,45 @@ class TestCompareConfigs:
         assert "base" in table and "4pe" in table
         assert "mean P99" in table
 
+    def test_accessors_read_the_underlying_results(self):
+        comparison = compare_configs(
+            SERVICES, [Candidate("only", quick_config())]
+        )
+        result = comparison.results["only"]
+        assert comparison.mean_ns("only") == result.mean_latency_ns()
+        assert comparison.p99_ns("only") == result.mean_p99_ns()
+        assert comparison.p99_speedup("only") == pytest.approx(1.0)
+        assert comparison.winner() == "only"
+
+    def test_comparison_is_deterministic(self):
+        candidates = [
+            Candidate("a", quick_config()),
+            Candidate("b", quick_config(architecture="non-acc")),
+        ]
+        first = compare_configs(SERVICES, candidates)
+        second = compare_configs(SERVICES, candidates)
+        for name in ("a", "b"):
+            assert first.p99_ns(name) == second.p99_ns(name)
+            assert first.mean_ns(name) == second.mean_ns(name)
+
+    def test_three_way_comparison_keeps_candidate_order(self):
+        comparison = compare_configs(
+            SERVICES,
+            [
+                Candidate("accelflow", quick_config()),
+                Candidate("relief", quick_config(architecture="relief")),
+                Candidate("non-acc", quick_config(architecture="non-acc")),
+            ],
+        )
+        assert comparison.candidates == ["accelflow", "relief", "non-acc"]
+        # The table lists candidates in submission order, winner or not.
+        rows = [
+            line.split()[0]
+            for line in comparison.table().splitlines()[2:5]
+        ]
+        assert rows == ["accelflow", "relief", "non-acc"]
+        assert comparison.winner() == "accelflow"
+
     def test_validation(self):
         with pytest.raises(ValueError):
             compare_configs(SERVICES, [])

@@ -1,0 +1,120 @@
+"""Tests pinning the calibration constants and their invariants.
+
+The calibration module is the single source of the reproduction's free
+constants. These tests lock the paper-quoted values (Fig 1 fractions,
+RELIEF's 1.5 us manager occupancy, the 13.4K RPS Alibaba average) and
+the orderings the orchestrator comparisons rely on, so an accidental
+edit to one number fails loudly instead of silently reshaping figures.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.calibration import (
+    ALIBABA_AVERAGE_RPS,
+    AVERAGE_TAX_FRACTIONS,
+    MS,
+    US,
+    BranchProbabilities,
+    OrchestrationCosts,
+    RemoteLatencies,
+    TaxCategory,
+)
+
+
+class TestTaxCategories:
+    def test_all_is_app_logic_plus_tax(self):
+        assert TaxCategory.ALL == (TaxCategory.APP_LOGIC,) + TaxCategory.TAX
+        assert TaxCategory.APP_LOGIC not in TaxCategory.TAX
+        assert len(set(TaxCategory.ALL)) == len(TaxCategory.ALL)
+
+    def test_fractions_cover_every_category_and_sum_to_one(self):
+        assert set(AVERAGE_TAX_FRACTIONS) == set(TaxCategory.ALL)
+        assert sum(AVERAGE_TAX_FRACTIONS.values()) == pytest.approx(1.0, abs=0.005)
+        for name, fraction in AVERAGE_TAX_FRACTIONS.items():
+            assert 0.0 < fraction < 1.0, name
+
+    def test_figure1_headline_numbers(self):
+        # Fig 1: AppLogic 20.7%, TCP 25.6% — the two largest categories.
+        assert AVERAGE_TAX_FRACTIONS[TaxCategory.APP_LOGIC] == 0.207
+        assert AVERAGE_TAX_FRACTIONS[TaxCategory.TCP] == 0.256
+        assert max(AVERAGE_TAX_FRACTIONS, key=AVERAGE_TAX_FRACTIONS.get) == (
+            TaxCategory.TCP
+        )
+
+
+class TestUnitConstants:
+    def test_unit_scales(self):
+        assert US == 1_000.0
+        assert MS == 1_000_000.0
+        assert MS == 1000 * US
+
+
+class TestOrchestrationCosts:
+    def test_paper_quoted_manager_occupancy(self):
+        costs = OrchestrationCosts()
+        assert costs.relief_manager_per_completion_ns == pytest.approx(1.5 * US)
+
+    def test_cost_orderings_the_comparisons_rely_on(self):
+        costs = OrchestrationCosts()
+        # CPU-centric interrupt handling dwarfs RELIEF's hardware manager.
+        assert costs.cpu_centric_per_completion_ns > (
+            10 * costs.relief_manager_per_completion_ns
+        )
+        # Cohort: a statically linked pair hop is cheaper than a
+        # software-shepherded hop, which beats a full interrupt.
+        assert (
+            costs.cohort_pair_hop_ns
+            < costs.cohort_cpu_hop_ns
+            < costs.cpu_centric_per_completion_ns
+        )
+        assert all(
+            value > 0
+            for value in dataclasses.asdict(costs).values()
+        )
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            OrchestrationCosts().cohort_pair_hop_ns = 0.0
+
+
+class TestRemoteLatencies:
+    def test_dependency_latency_ordering(self):
+        remotes = RemoteLatencies()
+        assert (
+            remotes.db_cache_ns
+            < remotes.nested_rpc_ns
+            < remotes.database_ns
+            < remotes.http_ns
+        )
+
+    def test_loss_probability_matches_the_paper_rate(self):
+        # 3.2 lost responses per million requests under bursty traffic.
+        assert RemoteLatencies().loss_probability == pytest.approx(3.2e-6)
+
+    def test_overrides_via_replace(self):
+        fast = dataclasses.replace(RemoteLatencies(), database_ns=50 * US)
+        assert fast.database_ns == 50 * US
+        assert RemoteLatencies().database_ns == 220 * US
+
+
+class TestBranchProbabilities:
+    def test_as_dict_round_trips_every_field(self):
+        probs = BranchProbabilities()
+        as_dict = probs.as_dict()
+        fields = {f.name for f in dataclasses.fields(probs)}
+        assert set(as_dict) == fields
+        for name, value in as_dict.items():
+            assert getattr(probs, name) == value
+            assert 0.0 <= value <= 1.0, name
+
+    def test_custom_probabilities_flow_through(self):
+        skewed = BranchProbabilities(hit=0.1)
+        assert skewed.as_dict()["hit"] == 0.1
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            skewed.hit = 0.9
+
+
+def test_alibaba_average_rate():
+    assert ALIBABA_AVERAGE_RPS == 13_400.0
