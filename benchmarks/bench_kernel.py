@@ -17,6 +17,12 @@ four workloads that together cover the kernel's hot paths:
                           rounds, exact DES vs a 90%-fluid tier
                           (`repro.cluster.fluid`); reports the wall
                           clock speedup the fluid approximation buys.
+* ``placement_overhead`` — interleaved A/B of one dedicated StoreP run
+                          with no placement config vs the forced
+                          pass-through placement fabric (everything
+                          on-package); reports the fabric layer's pure
+                          indirection cost on the DMA hot path, which
+                          must stay marginal (<2%).
 
 Kernel cases report events processed per wall-clock second; the
 end-to-end ``fig11_shard`` case has no kernel event count and reports
@@ -256,6 +262,66 @@ def run_fluid_case(repeat, quick):
     }
 
 
+def bench_placement_overhead(quick: bool):
+    """Interleaved A/B: the same dedicated StoreP run with no placement
+    config vs the forced pass-through fabric (everything on-package,
+    ``force_fabric=True``). Same seed -> identical event schedules; the
+    wall-clock delta is the fabric's pure indirection cost on the DMA
+    hot path, which the byte-identity contract says is all it may add."""
+    from repro.experiments.common import pick_service
+    from repro.hw import MachineParams
+    from repro.server.driver import RunConfig, run_dedicated_service
+    from repro.workloads import social_network_services
+
+    spec = pick_service(social_network_services(), "StoreP")
+    requests = 200 if quick else 500
+
+    def run(forced: bool):
+        params = MachineParams()
+        if forced:
+            params = params.with_placement("on_package", force_fabric=True)
+        config = RunConfig(
+            "accelflow",
+            requests_per_service=requests,
+            seed=0,
+            arrival_mode="poisson",
+            rate_rps=2000.0,
+            machine_params=params,
+            warmup_fraction=0.0,
+        )
+        start = perf_counter()
+        cell = run_dedicated_service(spec, config)
+        elapsed = perf_counter() - start
+        return cell["service"].completed, elapsed
+
+    return run
+
+
+def run_placement_case(repeat, quick):
+    run = bench_placement_overhead(quick=quick)
+    # One discarded round per arm: the first run pays module imports
+    # and allocator warm-up, which would skew whichever arm goes first.
+    run(forced=False)
+    run(forced=True)
+    plain_walls, fabric_walls = [], []
+    completed = 0
+    for _ in range(repeat):
+        completed, elapsed = run(forced=False)
+        plain_walls.append(elapsed)
+        _, elapsed = run(forced=True)
+        fabric_walls.append(elapsed)
+    best_plain, best_fabric = min(plain_walls), min(fabric_walls)
+    return {
+        "requests": completed,
+        "plain_wall_s_best": best_plain,
+        "fabric_wall_s_best": best_fabric,
+        "overhead_fraction": (
+            (best_fabric - best_plain) / best_plain if best_plain else 0.0
+        ),
+        "repeats": repeat,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -273,6 +339,8 @@ def main(argv=None) -> int:
                         help="skip the end-to-end fig11 shard case")
     parser.add_argument("--skip-fluid", action="store_true",
                         help="skip the fluid-vs-DES cluster A/B case")
+    parser.add_argument("--skip-placement", action="store_true",
+                        help="skip the placement-fabric overhead A/B case")
     args = parser.parse_args(argv)
 
     repeat = args.repeat or (3 if args.quick else 5)
@@ -310,6 +378,16 @@ def main(argv=None) -> int:
               f"({r['exact_wall_s_best'] * 1e3:.0f} ms exact vs "
               f"{r['fluid_wall_s_best'] * 1e3:.0f} ms fluid, "
               f"{r['mean_fluid_fraction']:.0%} fluid)", flush=True)
+
+    if not args.skip_placement:
+        results["placement_overhead"] = run_placement_case(
+            repeat + 2, args.quick)
+        r = results["placement_overhead"]
+        print(f"  {'placement_overhead':<18} "
+              f"{r['overhead_fraction']:>+11.1%} overhead "
+              f"({r['plain_wall_s_best'] * 1e3:.0f} ms plain vs "
+              f"{r['fabric_wall_s_best'] * 1e3:.0f} ms forced fabric)",
+              flush=True)
 
     payload = {
         "schema": 1,

@@ -19,6 +19,7 @@ from . import (
     fig_cluster,
     fig_faults,
     fig_fluid,
+    fig_placement,
     sensitivity,
     table1_connectivity,
     table2_traces,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "fig_cluster": fig_cluster.run,
     "fig_faults": fig_faults.run,
     "fig_fluid": fig_fluid.run,
+    "fig_placement": fig_placement.run,
     "sens-interchiplet": sensitivity.run_interchiplet,
     "sens-speedups": sensitivity.run_speedups,
     "sens-adaptive": sensitivity.run_adaptive,
@@ -80,6 +82,7 @@ SHARDED = {
     "fig_cluster": fig_cluster.SHARDED,
     "fig_faults": fig_faults.SHARDED,
     "fig_fluid": fig_fluid.SHARDED,
+    "fig_placement": fig_placement.SHARDED,
     "sens-interchiplet": sensitivity.SHARDED_INTERCHIPLET,
     "sens-speedups": sensitivity.SHARDED_SPEEDUPS,
     "sens-adaptive": sensitivity.SHARDED_ADAPTIVE,

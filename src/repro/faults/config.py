@@ -51,6 +51,23 @@ class FaultConfig:
     #: by this factor while a fault plane is installed.
     noc_degraded_factor: float = 1.0
 
+    # -- Placement-hop faults (need a placement fabric to bite) ------------
+    #: Mean gap between PCIe link flaps (0 disables); a flapped link
+    #: admits no new package<->card crossings for
+    #: :attr:`pcie_flap_down_ns`. Only transfers whose endpoints sit on
+    #: a ``pcie`` placement are affected — an all-on-package machine is
+    #: byte-identical with this knob set.
+    pcie_flap_interval_ns: float = 0.0
+    pcie_flap_down_ns: float = 2e5
+    pcie_flap_max: int = 16
+    #: Mean gap between NIC congestion windows (0 disables); while one
+    #: is open, every ``nic`` crossing stretches by
+    #: :attr:`nic_congestion_factor`.
+    nic_congestion_interval_ns: float = 0.0
+    nic_congestion_ns: float = 5e5
+    nic_congestion_factor: float = 4.0
+    nic_congestion_max: int = 16
+
     # -- ATM faults --------------------------------------------------------
     #: Mean gap between ATM outages (0 disables); reads issued during an
     #: outage wait until the SRAM comes back.
@@ -100,6 +117,8 @@ class FaultConfig:
             or self.dma_corruption_rate > 0.0
             or self.noc_flap_interval_ns > 0.0
             or self.noc_degraded_factor > 1.0
+            or self.pcie_flap_interval_ns > 0.0
+            or self.nic_congestion_interval_ns > 0.0
             or self.atm_outage_interval_ns > 0.0
             or self.manager_outage_interval_ns > 0.0
         )
@@ -117,6 +136,11 @@ class FaultConfig:
         if self.noc_degraded_factor < 1.0:
             raise ValueError(
                 f"noc_degraded_factor must be >= 1, got {self.noc_degraded_factor}"
+            )
+        if self.nic_congestion_factor < 1.0:
+            raise ValueError(
+                f"nic_congestion_factor must be >= 1, "
+                f"got {self.nic_congestion_factor}"
             )
         if self.step_max_retries < 0 or self.tcp_max_retries < 0:
             raise ValueError("retry budgets must be non-negative")

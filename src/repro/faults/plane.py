@@ -47,6 +47,8 @@ class FaultPlane:
         self._dma_stream = streams.stream("faults/dma")
         self._noc_stream = streams.stream("faults/noc")
         self._atm_stream = streams.stream("faults/atm")
+        self._pcie_stream = streams.stream("faults/pcie")
+        self._nic_stream = streams.stream("faults/nic")
         #: Used by the hw-manager orchestrator's outage injector.
         self.manager_stream = streams.stream("faults/manager")
 
@@ -54,6 +56,10 @@ class FaultPlane:
         self._down_links: Dict[Tuple[int, int], Event] = {}
         #: ATM outage gate (None while the SRAM is reachable).
         self._atm_gate: Optional[Event] = None
+        #: Flapped placement hops: Placement -> back-up gate.
+        self._down_placements: Dict[object, Event] = {}
+        #: Placement -> crossing-time multiplier (>1 during congestion).
+        self._placement_factors: Dict[object, float] = {}
 
         # Injection counters (surfaced through stats() and obs gauges).
         self.pe_transients = 0
@@ -62,6 +68,8 @@ class FaultPlane:
         self.dma_stalls = 0
         self.dma_corruptions = 0
         self.link_flaps = 0
+        self.pcie_flaps = 0
+        self.nic_congestions = 0
         self.atm_outages = 0
         self.manager_outages = 0
 
@@ -85,6 +93,20 @@ class FaultPlane:
             self.env.process(
                 self._link_flap_injector(hardware.network), name="fault-link-flap"
             )
+        # Placement-hop injectors only make sense against a placement
+        # fabric; an all-on-package machine has no PCIe link to flap,
+        # so these knobs leave it byte-identical.
+        fabric = getattr(hardware, "fabric", None)
+        if fabric is not None:
+            fabric.fault_plane = self
+            if config.pcie_flap_interval_ns > 0:
+                self.env.process(
+                    self._placement_flap_injector(), name="fault-pcie-flap"
+                )
+            if config.nic_congestion_interval_ns > 0:
+                self.env.process(
+                    self._nic_congestion_injector(), name="fault-nic-congestion"
+                )
         if config.atm_outage_interval_ns > 0:
             self.env.process(self._atm_outage_injector(), name="fault-atm-outage")
 
@@ -163,6 +185,18 @@ class FaultPlane:
         while self._atm_gate is not None:
             yield self._atm_gate
 
+    def placement_wait(self, placement):
+        """Generator: wait while ``placement``'s hop link is flapped."""
+        while True:
+            gate = self._down_placements.get(placement)
+            if gate is None:
+                return
+            yield gate
+
+    def placement_factor(self, placement) -> float:
+        """Crossing-time multiplier for ``placement`` (1.0 = healthy)."""
+        return self._placement_factors.get(placement, 1.0)
+
     # ------------------------------------------------------------------
     # Window injectors (bounded processes)
     # ------------------------------------------------------------------
@@ -206,6 +240,48 @@ class FaultPlane:
             del self._down_links[pair]
             gate.succeed()
 
+    def _placement_flap_injector(self):
+        """Periodically flap the PCIe hop link for a down window."""
+        from ..hw.placement import Placement
+
+        env = self.env
+        config = self.config
+        stream = self._pcie_stream
+        for _ in range(config.pcie_flap_max):
+            yield env.timeout(stream.exponential(config.pcie_flap_interval_ns))
+            if Placement.PCIE in self._down_placements:
+                continue
+            self.pcie_flaps += 1
+            self.emit("pcie-flap", {"down_ns": config.pcie_flap_down_ns})
+            gate = env.event()
+            self._down_placements[Placement.PCIE] = gate
+            yield env.timeout(config.pcie_flap_down_ns)
+            del self._down_placements[Placement.PCIE]
+            gate.succeed()
+
+    def _nic_congestion_injector(self):
+        """Periodically congest the NIC hop for a stretched window."""
+        from ..hw.placement import Placement
+
+        env = self.env
+        config = self.config
+        stream = self._nic_stream
+        for _ in range(config.nic_congestion_max):
+            yield env.timeout(
+                stream.exponential(config.nic_congestion_interval_ns)
+            )
+            if self._placement_factors.get(Placement.NIC, 1.0) > 1.0:
+                continue
+            self.nic_congestions += 1
+            self.emit(
+                "nic-congestion",
+                {"ns": config.nic_congestion_ns,
+                 "factor": config.nic_congestion_factor},
+            )
+            self._placement_factors[Placement.NIC] = config.nic_congestion_factor
+            yield env.timeout(config.nic_congestion_ns)
+            self._placement_factors[Placement.NIC] = 1.0
+
     def _atm_outage_injector(self):
         """Periodically make the trace SRAM unreachable for a window."""
         env = self.env
@@ -232,6 +308,8 @@ class FaultPlane:
             + self.dma_stalls
             + self.dma_corruptions
             + self.link_flaps
+            + self.pcie_flaps
+            + self.nic_congestions
             + self.atm_outages
             + self.manager_outages
         )
@@ -244,6 +322,8 @@ class FaultPlane:
             "dma_stalls": float(self.dma_stalls),
             "dma_corruptions": float(self.dma_corruptions),
             "link_flaps": float(self.link_flaps),
+            "pcie_flaps": float(self.pcie_flaps),
+            "nic_congestions": float(self.nic_congestions),
             "atm_outages": float(self.atm_outages),
             "manager_outages": float(self.manager_outages),
             "total_injected": float(self.total_injected()),

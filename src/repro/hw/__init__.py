@@ -8,6 +8,14 @@ from .ensemble import ServerHardware
 from .mesh import MeshTopology, PORTAL, build_chiplet_meshes
 from .noc import CPU_ENDPOINT, MEMORY_ENDPOINT, Network
 from .ops import AccelOp, QueueEntry
+from .placement import (
+    DEFAULT_HOP_MODELS,
+    PLACEMENTS,
+    HopModel,
+    Placement,
+    PlacementConfig,
+    PlacementFabric,
+)
 from .params import (
     ACCEL_KINDS,
     DEFAULT_SPEEDUPS,
@@ -42,10 +50,12 @@ __all__ = [
     "ChipletLayout",
     "CorePool",
     "CpuParams",
+    "DEFAULT_HOP_MODELS",
     "DEFAULT_SPEEDUPS",
     "DmaPool",
     "EnergyModel",
     "GHZ",
+    "HopModel",
     "Iommu",
     "MEMORY_ENDPOINT",
     "MeshTopology",
@@ -54,7 +64,11 @@ __all__ = [
     "MachineParams",
     "Network",
     "NocParams",
+    "PLACEMENTS",
     "PROCESSOR_GENERATIONS",
+    "Placement",
+    "PlacementConfig",
+    "PlacementFabric",
     "ProcessorGeneration",
     "QueueEntry",
     "QueuePolicy",

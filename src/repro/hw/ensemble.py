@@ -42,7 +42,19 @@ class ServerHardware:
 
         self.cores = CorePool(env, params.cpu)
         self.network = Network(env, params)
-        self.dma = DmaPool(env, self.network, engines=params.dma_engines,
+        #: Placement fabric (:mod:`repro.hw.placement`), or None when
+        #: every accelerator is on-package — then the DMA pool drives
+        #: the NoC directly, exactly as in the placement-unaware model.
+        self.fabric = None
+        transport = self.network
+        if params.placement is not None and params.placement.active:
+            from .placement import PlacementFabric
+
+            self.fabric = PlacementFabric(
+                env, params.placement, self.network, tracer=tracer
+            )
+            transport = self.fabric
+        self.dma = DmaPool(env, transport, engines=params.dma_engines,
                            tracer=tracer)
         self.atm = AtmMemory(env, params.atm)
 
@@ -127,7 +139,13 @@ class ServerHardware:
         return {
             "cores": self.cores.stats(),
             "dma": self.dma.stats(),
-            "network": self.network.stats(),
+            # The fabric's stats embed the NoC's plus per-placement hop
+            # counters, so the report shape only grows when placements
+            # are actually in play.
+            "network": (
+                self.network.stats() if self.fabric is None
+                else self.fabric.stats()
+            ),
             "tlb": self.tlb_stats(),
             "accelerators": {
                 kind.value: self._kind_stats(instances)

@@ -13,7 +13,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (placement
+    from .placement import PlacementConfig  # imports AcceleratorKind)
 
 __all__ = [
     "AcceleratorKind",
@@ -338,6 +341,10 @@ class MachineParams:
     #: isolation knob against hoarding tenants, not a steady-state cap:
     #: it must sit above a single tenant's honest in-flight trace count.
     tenant_trace_limit: int = 128
+    #: Where the accelerators live (:mod:`repro.hw.placement`). None —
+    #: the default — means everything on-package with *no* placement
+    #: fabric installed: byte-identical to the placement-unaware model.
+    placement: Optional["PlacementConfig"] = None
 
     def speedup_of(self, kind: AcceleratorKind) -> float:
         return self.speedups[kind] * self.speedup_scale
@@ -361,3 +368,15 @@ class MachineParams:
 
     def with_inter_chiplet_cycles(self, cycles: float) -> "MachineParams":
         return replace(self, noc=replace(self.noc, inter_chiplet_cycles=cycles))
+
+    def with_placement(
+        self, default="on_package", overrides=None, **kwargs
+    ) -> "MachineParams":
+        """Place the accelerators: a placement (name or enum) for every
+        kind, plus per-kind ``overrides`` (see :mod:`repro.hw.placement`)."""
+        from .placement import PlacementConfig
+
+        return replace(
+            self,
+            placement=PlacementConfig.build(default, overrides, **kwargs),
+        )

@@ -200,6 +200,19 @@ class Dashboard:
                 f"{100.0 * fluid_fraction:5.1f}% of fleet   queued mass "
                 f"{self.gauges.get('cluster:fluid_mass', 0.0):8,.1f}"
             )
+        hop_gauges = {
+            name[len("placement:hops:"):]: value
+            for name, value in self.gauges.items()
+            if name.startswith("placement:hops:")
+        }
+        if hop_gauges:
+            # Only machines with off-package accelerator placements
+            # publish these gauges (see repro.hw.placement).
+            ranked = sorted(hop_gauges.items(), key=lambda kv: (-kv[1], kv[0]))
+            lines.append(
+                "placement hops  "
+                + "  ".join(f"{site}={count:,.0f}" for site, count in ranked)
+            )
         fault_total = sum(self.faults.values())
         lines.append(
             f"breakers open {self.open_breakers}   watchdogs {self.watchdog_timeouts}"

@@ -51,7 +51,9 @@ def make_orchestrator(architecture: str, *args, **kwargs) -> Orchestrator:
         cls = ARCHITECTURES[architecture]
     except KeyError:
         raise ValueError(
-            f"unknown architecture {architecture!r}; known: {sorted(ARCHITECTURES)}"
+            f"unknown architecture {architecture!r}; "
+            f"known: {sorted(ARCHITECTURES)} "
+            f"(ladder rungs of the RELIEF family: {sorted(LADDER_VARIANTS)})"
         ) from None
     if architecture in LADDER_VARIANTS:
         kwargs.setdefault("config", LADDER_VARIANTS[architecture])

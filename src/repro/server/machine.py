@@ -126,6 +126,17 @@ class SimulatedServer:
                 f"util:{kind.value}",
                 lambda k=kind: self.hardware.busy_pe_fraction(k),
             )
+        fabric = self.hardware.fabric
+        if fabric is not None:
+            for placement in sorted(fabric.hop_transfers, key=lambda p: p.value):
+                registry.gauge(
+                    f"placement:hops:{placement.value}",
+                    lambda f=fabric, p=placement: float(f.hop_transfers[p]),
+                )
+                registry.gauge(
+                    f"placement:inflight:{placement.value}",
+                    lambda f=fabric, p=placement: f.in_flight(p),
+                )
         plane = self.fault_plane
         if plane is not None:
             registry.gauge(

@@ -1,0 +1,298 @@
+"""Unit tests for the placement fabric (hop models, config, transport)."""
+
+import pytest
+
+from repro.hw import (
+    DEFAULT_HOP_MODELS,
+    PLACEMENTS,
+    AcceleratorKind,
+    HopModel,
+    MachineParams,
+    Network,
+    Placement,
+    PlacementConfig,
+    PlacementFabric,
+)
+from repro.hw.noc import CPU_ENDPOINT, MEMORY_ENDPOINT
+from repro.sim import Environment
+
+
+def make_fabric(default="pcie", overrides=None, **kwargs):
+    env = Environment()
+    network = Network(env, MachineParams().with_layout(2))
+    config = PlacementConfig.build(default, overrides, **kwargs)
+    return env, network, PlacementFabric(env, config, network)
+
+
+def run_transfer(env, fabric, src, dst, nbytes):
+    def proc(env):
+        yield env.process(fabric.transfer(src, dst, nbytes))
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    return p.value
+
+
+class TestHopModel:
+    def test_serialization_rounds_up_to_quanta(self):
+        hop = HopModel(setup_ns=100.0, gbps=10.0, quantum_bytes=512)
+        # 1 byte still ships a whole quantum; 513 bytes ship two.
+        assert hop.serialization_ns(1) == pytest.approx(51.2)
+        assert hop.serialization_ns(512) == pytest.approx(51.2)
+        assert hop.serialization_ns(513) == pytest.approx(102.4)
+
+    def test_crossing_adds_setup(self):
+        hop = HopModel(setup_ns=100.0, gbps=10.0, quantum_bytes=512)
+        assert hop.crossing_ns(512) == pytest.approx(100.0 + 51.2)
+
+    def test_validate_rejects_bad_fields(self):
+        for bad in (
+            HopModel(setup_ns=-1.0, gbps=10.0),
+            HopModel(setup_ns=0.0, gbps=0.0),
+            HopModel(setup_ns=0.0, gbps=10.0, quantum_bytes=0),
+            HopModel(setup_ns=0.0, gbps=10.0, lanes=0),
+        ):
+            with pytest.raises(ValueError):
+                bad.validate()
+
+    def test_default_models_cover_all_off_package_placements(self):
+        assert set(DEFAULT_HOP_MODELS) == set(PLACEMENTS) - {
+            Placement.ON_PACKAGE
+        }
+        # Sanity of the literature flavouring: the further from the
+        # cores, the larger the per-crossing setup.
+        assert (
+            DEFAULT_HOP_MODELS[Placement.NEAR_CACHE].setup_ns
+            < DEFAULT_HOP_MODELS[Placement.PCIE].setup_ns
+            < DEFAULT_HOP_MODELS[Placement.NIC].setup_ns
+            < DEFAULT_HOP_MODELS[Placement.REMOTE].setup_ns
+        )
+
+
+class TestPlacementConfig:
+    def test_build_accepts_strings(self):
+        config = PlacementConfig.build("pcie", {"tcp": "nic"})
+        assert config.default is Placement.PCIE
+        assert config.placement_of(AcceleratorKind.TCP) is Placement.NIC
+        assert config.placement_of(AcceleratorKind.SER) is Placement.PCIE
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="unknown placement"):
+            PlacementConfig.build("underwater")
+
+    def test_default_config_is_inactive(self):
+        assert not PlacementConfig.build("on_package").active
+        assert not PlacementConfig().active
+
+    def test_any_off_package_kind_activates(self):
+        assert PlacementConfig.build("pcie").active
+        assert PlacementConfig.build(
+            "on_package", {"tcp": "nic"}
+        ).active
+
+    def test_force_fabric_activates_without_moving_anything(self):
+        config = PlacementConfig.build("on_package", force_fabric=True)
+        assert config.active
+        assert not config.placements_in_use()
+
+    def test_placements_in_use_counts_kinds(self):
+        config = PlacementConfig.build("on_package", {"tcp": "nic", "ser": "nic"})
+        assert config.placements_in_use() == {Placement.NIC: 2}
+
+    def test_validate_rejects_on_package_hop_model(self):
+        config = PlacementConfig.build(
+            "pcie",
+            hop_models={Placement.ON_PACKAGE: HopModel(1.0, 1.0)},
+        )
+        with pytest.raises(ValueError, match="on_package needs no hop model"):
+            config.validate()
+
+    def test_validate_requires_model_for_used_placement(self):
+        config = PlacementConfig(
+            default=Placement.PCIE,
+            hop_models={Placement.NIC: DEFAULT_HOP_MODELS[Placement.NIC]},
+        )
+        with pytest.raises(ValueError, match="no hop model"):
+            config.validate()
+
+
+class TestFabricTransport:
+    def test_cpu_and_memory_are_always_on_package(self):
+        _, _, fabric = make_fabric("remote")
+        assert fabric.placement_of(CPU_ENDPOINT) is Placement.ON_PACKAGE
+        assert fabric.placement_of(MEMORY_ENDPOINT) is Placement.ON_PACKAGE
+        assert fabric.placement_of(AcceleratorKind.TCP) is Placement.REMOTE
+
+    def test_transfer_matches_estimate_uncontended(self):
+        env, _, fabric = make_fabric("pcie")
+        elapsed = run_transfer(env, fabric, CPU_ENDPOINT, AcceleratorKind.TCP, 2048)
+        estimate = fabric.estimate_ns(CPU_ENDPOINT, AcceleratorKind.TCP, 2048)
+        assert elapsed == pytest.approx(estimate, rel=0.01)
+
+    def test_crossing_adds_hop_on_top_of_noc(self):
+        env, network, fabric = make_fabric("pcie")
+        hop = DEFAULT_HOP_MODELS[Placement.PCIE]
+        noc_only = network.estimate_ns(CPU_ENDPOINT, MEMORY_ENDPOINT, 2048)
+        with_hop = fabric.estimate_ns(CPU_ENDPOINT, AcceleratorKind.TCP, 2048)
+        assert with_hop == pytest.approx(noc_only + hop.crossing_ns(2048))
+
+    def test_on_package_pairs_ride_the_noc_unchanged(self):
+        env, network, fabric = make_fabric(
+            "on_package", {"tcp": "pcie"}
+        )
+        elapsed = run_transfer(
+            env, fabric, AcceleratorKind.LDB, CPU_ENDPOINT, 4096
+        )
+        assert elapsed == pytest.approx(
+            network.estimate_ns(AcceleratorKind.LDB, CPU_ENDPOINT, 4096),
+            rel=0.01,
+        )
+        assert fabric.hop_transfers == {Placement.PCIE: 0}
+
+    def test_same_site_transfer_costs_the_noc_not_the_hop(self):
+        env, network, fabric = make_fabric("nic")
+        elapsed = run_transfer(
+            env, fabric, AcceleratorKind.TCP, AcceleratorKind.SER, 4096
+        )
+        assert elapsed == pytest.approx(
+            network.estimate_ns(AcceleratorKind.TCP, AcceleratorKind.SER, 4096),
+            rel=0.01,
+        )
+        assert fabric.local_site_transfers == 1
+        assert fabric.hop_transfers[Placement.NIC] == 0
+
+    def test_site_to_site_pays_both_crossings(self):
+        env, network, fabric = make_fabric("pcie", {"tcp": "nic"})
+        pcie = DEFAULT_HOP_MODELS[Placement.PCIE]
+        nic = DEFAULT_HOP_MODELS[Placement.NIC]
+        nbytes = 1024
+        expected = (
+            pcie.crossing_ns(nbytes)
+            + network.estimate_ns(MEMORY_ENDPOINT, MEMORY_ENDPOINT, nbytes)
+            + nic.crossing_ns(nbytes)
+        )
+        elapsed = run_transfer(
+            env, fabric, AcceleratorKind.SER, AcceleratorKind.TCP, nbytes
+        )
+        assert elapsed == pytest.approx(expected, rel=0.01)
+        assert fabric.hop_transfers[Placement.PCIE] == 1
+        assert fabric.hop_transfers[Placement.NIC] == 1
+
+    def test_lane_contention_serializes_crossings(self):
+        hop = HopModel(setup_ns=1000.0, gbps=100.0, quantum_bytes=64, lanes=2)
+        env, _, fabric = make_fabric(
+            "pcie", hop_models={Placement.PCIE: hop}
+        )
+        finish = []
+
+        def transfer(env):
+            yield env.process(
+                fabric.transfer(CPU_ENDPOINT, AcceleratorKind.TCP, 64)
+            )
+            finish.append(env.now)
+
+        for _ in range(4):
+            env.process(transfer(env))
+        env.run()
+        # 2 lanes for 4 crossings: the second wave waits a full leg.
+        assert len(set(round(t, 3) for t in finish)) == 2
+
+    def test_stats_embed_noc_and_hop_counters(self):
+        env, _, fabric = make_fabric("pcie")
+        run_transfer(env, fabric, CPU_ENDPOINT, AcceleratorKind.TCP, 512)
+        stats = fabric.stats()
+        assert stats["hops"]["pcie"]["transfers"] == 1.0
+        assert stats["hops"]["pcie"]["bytes"] == 512.0
+        assert "bytes_moved" in stats  # the embedded NoC stats
+        assert stats["local_site_transfers"] == 0.0
+
+
+class TestMachineIntegration:
+    def test_with_placement_threads_through(self):
+        params = MachineParams().with_placement("nic", {"tcp": "on_package"})
+        assert params.placement.default is Placement.NIC
+        assert (
+            params.placement.placement_of(AcceleratorKind.TCP)
+            is Placement.ON_PACKAGE
+        )
+
+    def test_on_package_config_installs_no_fabric(self):
+        from repro.server import SimulatedServer
+
+        server = SimulatedServer(
+            "accelflow",
+            machine_params=MachineParams().with_placement("on_package"),
+        )
+        assert server.hardware.fabric is None
+
+    def test_off_package_config_installs_fabric(self):
+        from repro.server import SimulatedServer
+
+        server = SimulatedServer(
+            "accelflow",
+            machine_params=MachineParams().with_placement("pcie"),
+        )
+        fabric = server.hardware.fabric
+        assert fabric is not None
+        assert server.hardware.dma.network is fabric
+
+    def test_on_package_run_byte_identical_to_default(self):
+        """The whole acceptance contract in one test: an explicit
+        all-on-package placement must not move a single sample."""
+        from repro.server import RunConfig, run_experiment
+        from repro.workloads import social_network_services
+
+        spec = [s for s in social_network_services() if s.name == "UniqId"]
+        base = dict(
+            requests_per_service=40,
+            seed=3,
+            arrival_mode="poisson",
+            rate_rps=20000.0,
+        )
+        plain = run_experiment([spec[0]], RunConfig("accelflow", **base))
+        placed = run_experiment(
+            [spec[0]],
+            RunConfig(
+                "accelflow",
+                machine_params=MachineParams().with_placement("on_package"),
+                **base,
+            ),
+        )
+        assert (
+            plain.services["UniqId"].recorder.samples
+            == placed.services["UniqId"].recorder.samples
+        )
+        assert plain.elapsed_ns == placed.elapsed_ns
+        assert repr(plain.hardware_stats) == repr(placed.hardware_stats)
+
+    def test_forced_fabric_passthrough_is_timing_identical(self):
+        """force_fabric installs the layer with everything on-package:
+        samples must still match the fabric-free run exactly (the stats
+        shape grows, the simulation must not)."""
+        from repro.server import RunConfig, run_experiment
+        from repro.workloads import social_network_services
+
+        spec = [s for s in social_network_services() if s.name == "UniqId"]
+        base = dict(
+            requests_per_service=40,
+            seed=3,
+            arrival_mode="poisson",
+            rate_rps=20000.0,
+        )
+        plain = run_experiment([spec[0]], RunConfig("accelflow", **base))
+        forced = run_experiment(
+            [spec[0]],
+            RunConfig(
+                "accelflow",
+                machine_params=MachineParams().with_placement(
+                    "on_package", force_fabric=True
+                ),
+                **base,
+            ),
+        )
+        assert (
+            plain.services["UniqId"].recorder.samples
+            == forced.services["UniqId"].recorder.samples
+        )
+        assert plain.elapsed_ns == forced.elapsed_ns

@@ -31,6 +31,20 @@ class TestArchitectureRegistry:
         with pytest.raises(ValueError):
             SimulatedServer("warp-drive")
 
+    def test_unknown_architecture_error_lists_ladder_variants(self):
+        """The rejection names every architecture AND calls out the
+        RELIEF ladder rungs, so typos like 'cntr-flow' are debuggable
+        straight from the message."""
+        with pytest.raises(ValueError) as excinfo:
+            SimulatedServer("cntr-flow")
+        message = str(excinfo.value)
+        assert "'cntr-flow'" in message
+        assert "ladder" in message
+        for name in sorted(ARCHITECTURES):
+            assert name in message
+        for name in sorted(LADDER_VARIANTS):
+            assert message.count(name) >= 2  # known list + ladder list
+
     def test_ladder_variants_configured(self):
         assert LADDER_VARIANTS["relief"].per_type_queues is False
         assert LADDER_VARIANTS["per-acc-type-q"].per_type_queues is True

@@ -13,6 +13,7 @@ import pytest
 
 from repro.cluster import ClusterConfig, FluidConfig, MachineFailure, run_cluster
 from repro.faults import FaultConfig
+from repro.hw import MachineParams
 from repro.obs import ObsConfig
 from repro.server import RunConfig, run_experiment
 from repro.workloads import social_network_services
@@ -81,6 +82,19 @@ SERVER_CONFIGS = {
         rate_rps=20000.0,
         colocated=True,
         obs=ObsConfig(metrics=True, telemetry=True),
+    ),
+    "placement-split": dict(
+        arrival_mode="poisson",
+        rate_rps=20000.0,
+        machine_params=MachineParams().with_placement("pcie", {"tcp": "nic"}),
+    ),
+    "placement-faults": dict(
+        arrival_mode="poisson",
+        rate_rps=20000.0,
+        machine_params=MachineParams().with_placement("pcie"),
+        faults=FaultConfig(
+            pcie_flap_interval_ns=3e6, pcie_flap_down_ns=5e5, pcie_flap_max=64
+        ),
     ),
 }
 
