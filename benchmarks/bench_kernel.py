@@ -23,6 +23,12 @@ four workloads that together cover the kernel's hot paths:
                           on-package); reports the fabric layer's pure
                           indirection cost on the DMA hot path, which
                           must stay marginal (<2%).
+* ``health_plane_overhead`` — interleaved A/B of one fleet run with no
+                          health plane vs an installed-but-idle monitor
+                          (thresholds nothing crosses, prober on); the
+                          delta is the plane's pure observation cost
+                          and the harness fails when it exceeds
+                          ``--max-health-overhead`` (default 2%).
 
 Kernel cases report events processed per wall-clock second; the
 end-to-end ``fig11_shard`` case has no kernel event count and reports
@@ -322,6 +328,69 @@ def run_placement_case(repeat, quick):
     }
 
 
+def bench_health_overhead(quick: bool):
+    """Interleaved A/B: the same fleet run with no health plane vs an
+    installed-but-idle :class:`~repro.cluster.HealthConfig` (thresholds
+    nothing crosses, prober on). The monitor is RNG-free and ejects
+    nothing here, so both arms execute the identical event schedule;
+    the wall-clock delta is the plane's pure observation cost — EWMA
+    folds on every completion plus bounded probe sweeps."""
+    from repro.cluster import ClusterConfig, HealthConfig, run_cluster
+    from repro.workloads import social_network_services
+
+    services = [
+        s for s in social_network_services() if s.name in ("UniqId", "StoreP")
+    ]
+    requests = 200 if quick else 500
+
+    def run(health: bool):
+        config = ClusterConfig(
+            policy="round-robin",
+            machines=3,
+            requests_per_service=requests,
+            rate_rps=30000.0,
+            seed=0,
+            arrival_mode="poisson",
+            warmup_fraction=0.0,
+            health=HealthConfig(
+                latency_threshold_ns=1e12,
+                error_threshold=1.0,
+                probe_interval_ns=1e6,
+                probe_pressure_threshold=1e12,
+                probe_max=256,
+            ) if health else None,
+        )
+        start = perf_counter()
+        result = run_cluster(services, config)
+        elapsed = perf_counter() - start
+        return result.completed, elapsed
+
+    return run
+
+
+def run_health_case(repeat, quick):
+    run = bench_health_overhead(quick=quick)
+    run(health=False)  # discard warm-up round per arm
+    run(health=True)
+    plain_walls, health_walls = [], []
+    completed = 0
+    for _ in range(repeat):
+        completed, elapsed = run(health=False)
+        plain_walls.append(elapsed)
+        _, elapsed = run(health=True)
+        health_walls.append(elapsed)
+    best_plain, best_health = min(plain_walls), min(health_walls)
+    return {
+        "requests": completed,
+        "plain_wall_s_best": best_plain,
+        "health_wall_s_best": best_health,
+        "overhead_fraction": (
+            (best_health - best_plain) / best_plain if best_plain else 0.0
+        ),
+        "repeats": repeat,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -341,6 +410,11 @@ def main(argv=None) -> int:
                         help="skip the fluid-vs-DES cluster A/B case")
     parser.add_argument("--skip-placement", action="store_true",
                         help="skip the placement-fabric overhead A/B case")
+    parser.add_argument("--skip-health", action="store_true",
+                        help="skip the health-plane overhead A/B case")
+    parser.add_argument("--max-health-overhead", type=float, default=0.02,
+                        help="fail if the idle health plane costs more than "
+                             "this fraction of fleet wall clock (default 0.02)")
     args = parser.parse_args(argv)
 
     repeat = args.repeat or (3 if args.quick else 5)
@@ -389,6 +463,23 @@ def main(argv=None) -> int:
               f"{r['fabric_wall_s_best'] * 1e3:.0f} ms forced fabric)",
               flush=True)
 
+    health_gate_failed = False
+    if not args.skip_health:
+        results["health_plane_overhead"] = run_health_case(
+            repeat + 2, args.quick)
+        r = results["health_plane_overhead"]
+        print(f"  {'health_plane_overhead':<18} "
+              f"{r['overhead_fraction']:>+11.1%} overhead "
+              f"({r['plain_wall_s_best'] * 1e3:.0f} ms plain vs "
+              f"{r['health_wall_s_best'] * 1e3:.0f} ms health plane)",
+              flush=True)
+        if r["overhead_fraction"] > args.max_health_overhead:
+            print(f"FAIL: idle health plane costs "
+                  f"{r['overhead_fraction']:.1%} of fleet wall clock "
+                  f"(budget {args.max_health_overhead:.0%})",
+                  file=sys.stderr)
+            health_gate_failed = True
+
     payload = {
         "schema": 1,
         "python": platform.python_version(),
@@ -397,7 +488,7 @@ def main(argv=None) -> int:
         "cases": results,
     }
 
-    status = 0
+    status = 1 if health_gate_failed else 0
     if args.baseline and args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())
         base_rate = baseline["cases"]["store_contention"]["events_per_s"]

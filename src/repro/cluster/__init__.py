@@ -10,7 +10,12 @@ injection with rerouting. See ``docs/tutorial.md`` ("Cluster
 simulation") and the ``fig_cluster`` experiment.
 """
 
-from .admission import AdmissionConfig, AdmissionController, AdmissionDecision
+from .admission import (
+    PROPORTIONAL,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+)
 from .autoscaler import Autoscaler, AutoscalerConfig
 from .balancer import (
     BALANCER_POLICIES,
@@ -25,9 +30,11 @@ from .balancer import (
 from .cluster import MachineFailure, RequestStatus, SimulatedCluster
 from .driver import ClusterConfig, ClusterResult, run_cluster
 from .fluid import FLUID_TOLERANCES, FluidConfig, FluidTier
+from .health import HealthConfig, HealthMonitor, HealthState, MachineHealth
 from .machine import ClusterMachine, MachineState
 
 __all__ = [
+    "PROPORTIONAL",
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",
@@ -42,6 +49,10 @@ __all__ = [
     "FLUID_TOLERANCES",
     "FluidConfig",
     "FluidTier",
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthState",
+    "MachineHealth",
     "LeastOutstandingBalancer",
     "LoadBalancer",
     "MachineFailure",

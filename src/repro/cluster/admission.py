@@ -22,7 +22,12 @@ from typing import Dict, Optional
 from ..sim import percentile
 from ..workloads.request import Request
 
-__all__ = ["AdmissionConfig", "AdmissionController", "AdmissionDecision"]
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "PROPORTIONAL",
+]
 
 
 class AdmissionDecision:
@@ -31,6 +36,15 @@ class AdmissionDecision:
     ADMIT = "admit"
     SHED = "shed"
     DEGRADE = "degrade"
+
+
+#: Third admission mode: instead of shedding *every* arrival while the
+#: prediction breaches (a bang-bang gate that oscillates around the
+#: SLO), shed a *fraction* that ratchets up under sustained breach and
+#: decays once the breach clears. The fraction is applied with a
+#: deterministic error-diffusion accumulator — no RNG, so enabling the
+#: mode never perturbs a model stream.
+PROPORTIONAL = "proportional"
 
 
 @dataclass(frozen=True)
@@ -49,16 +63,31 @@ class AdmissionConfig:
     degrade_factor: float = 0.5
     #: Degraded payloads never shrink below this wire size.
     degrade_floor_bytes: int = 64
+    #: Proportional mode: consecutive same-direction decisions before
+    #: the shed fraction steps up (breach) or down (recovery).
+    sustain_decisions: int = 32
+    #: Proportional mode: shed-fraction step size per sustained window.
+    shed_step: float = 0.1
+    #: Proportional mode: the shed fraction never exceeds this (some
+    #: traffic always flows, so the P99 window keeps refreshing).
+    max_shed_fraction: float = 0.9
 
     def __post_init__(self):
         if self.slo_ns <= 0:
             raise ValueError(f"slo_ns must be positive, got {self.slo_ns}")
-        if self.mode not in (AdmissionDecision.SHED, AdmissionDecision.DEGRADE):
+        modes = (AdmissionDecision.SHED, AdmissionDecision.DEGRADE, PROPORTIONAL)
+        if self.mode not in modes:
             raise ValueError(f"unknown admission mode {self.mode!r}")
         if self.window <= 0 or self.min_samples <= 0:
             raise ValueError("window and min_samples must be positive")
         if not 0.0 < self.degrade_factor <= 1.0:
             raise ValueError("degrade_factor must be in (0, 1]")
+        if self.sustain_decisions < 1:
+            raise ValueError("sustain_decisions must be >= 1")
+        if not 0.0 < self.shed_step <= 1.0:
+            raise ValueError("shed_step must be in (0, 1]")
+        if not 0.0 <= self.max_shed_fraction <= 1.0:
+            raise ValueError("max_shed_fraction must be in [0, 1]")
 
 
 class AdmissionController:
@@ -70,6 +99,13 @@ class AdmissionController:
         self.admitted = 0
         self.shed = 0
         self.degraded = 0
+        # Proportional-mode state: the current shed fraction, the
+        # same-direction decision streaks that ratchet it, and the
+        # error-diffusion accumulator that applies it deterministically.
+        self.shed_fraction = 0.0
+        self._breach_streak = 0
+        self._healthy_streak = 0
+        self._shed_accumulator = 0.0
 
     # -- prediction --------------------------------------------------------
     def predicted_p99_ns(self) -> Optional[float]:
@@ -86,6 +122,8 @@ class AdmissionController:
     # -- the gate ----------------------------------------------------------
     def decide(self, request: Request) -> str:
         """Admit, shed or degrade one arriving request (and count it)."""
+        if self.config.mode == PROPORTIONAL:
+            return self._decide_proportional()
         if not self.overloaded:
             self.admitted += 1
             return AdmissionDecision.ADMIT
@@ -95,6 +133,46 @@ class AdmissionController:
         self.degraded += 1
         self.apply_degrade(request)
         return AdmissionDecision.DEGRADE
+
+    def _decide_proportional(self) -> str:
+        """Shed a ratcheting fraction of arrivals under sustained breach.
+
+        Each overloaded decision extends the breach streak; a full
+        streak steps the shed fraction up by ``shed_step`` (capped).
+        Healthy decisions symmetrically decay it back toward zero, so
+        the controller sheds *proportionally to how long* the breach
+        has persisted rather than flapping between 0% and 100%. The
+        fraction is applied via error diffusion: the accumulator gains
+        ``shed_fraction`` per arrival and sheds on each whole unit —
+        exact long-run proportions, no RNG, fully deterministic.
+        """
+        config = self.config
+        if self.overloaded:
+            self._healthy_streak = 0
+            self._breach_streak += 1
+            if self._breach_streak >= config.sustain_decisions:
+                self._breach_streak = 0
+                self.shed_fraction = min(
+                    config.max_shed_fraction,
+                    self.shed_fraction + config.shed_step,
+                )
+        else:
+            self._breach_streak = 0
+            if self.shed_fraction > 0.0:
+                self._healthy_streak += 1
+                if self._healthy_streak >= config.sustain_decisions:
+                    self._healthy_streak = 0
+                    self.shed_fraction = max(
+                        0.0, self.shed_fraction - config.shed_step
+                    )
+        if self.shed_fraction > 0.0:
+            self._shed_accumulator += self.shed_fraction
+            if self._shed_accumulator >= 1.0:
+                self._shed_accumulator -= 1.0
+                self.shed += 1
+                return AdmissionDecision.SHED
+        self.admitted += 1
+        return AdmissionDecision.ADMIT
 
     def apply_degrade(self, request: Request) -> None:
         """Serve a lighter response: truncate the request payload."""
@@ -123,4 +201,5 @@ class AdmissionController:
             "degraded": float(self.degraded),
             "shed_rate": self.shed_rate,
             "predicted_p99_ns": predicted if predicted is not None else 0.0,
+            "shed_fraction": self.shed_fraction,
         }

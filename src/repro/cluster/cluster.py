@@ -35,6 +35,7 @@ from .admission import AdmissionController, AdmissionDecision
 from .autoscaler import Autoscaler
 from .balancer import make_balancer
 from .fluid import FluidTier
+from .health import HealthMonitor
 from .machine import ClusterMachine, MachineState
 
 __all__ = ["MachineFailure", "SimulatedCluster", "RequestStatus"]
@@ -85,6 +86,13 @@ class SimulatedCluster:
         self.fluid = (
             FluidTier(self, config.fluid)
             if getattr(config, "fluid", None) is not None
+            else None
+        )
+        #: Machine health scoring + lame-duck ejection (RNG-free, so
+        #: installing it keeps the run CRN-aligned with a bare fleet).
+        self.health = (
+            HealthMonitor(self, config.health)
+            if getattr(config, "health", None) is not None
             else None
         )
 
@@ -146,6 +154,7 @@ class SimulatedCluster:
             remotes=config.remotes,
             branch_probs=config.branch_probs,
             env=self.env,
+            faults=getattr(config, "faults", None),
         )
         machine = ClusterMachine(
             index, server, warm_at_ns=self.env.now + warmup_ns
@@ -366,6 +375,10 @@ class SimulatedCluster:
             machines = self.routable_machines()
             if not machines:
                 return self._give_up(request)
+            if self.health is not None:
+                # Lame ducks leave the *candidate set*, not the fleet:
+                # the autoscaler and capacity accounting still see them.
+                machines = self.health.filter_routable(machines)
             machine = self.balancer.pick(machines, request)
             if self.fluid is not None and self.fluid.is_fluid(machine):
                 # Absorb into the fluid tier: the request becomes queue
@@ -387,6 +400,12 @@ class SimulatedCluster:
             self.completed += 1
             if self.admission is not None:
                 self.admission.observe(request.latency_ns)
+            if self.health is not None:
+                self.health.observe(
+                    machine,
+                    request.latency_ns,
+                    ok=not (request.error or request.timed_out),
+                )
             if self.fluid is not None:
                 self.fluid.observe_exact(request.spec.name, request.latency_ns)
             if self.bus is not None:
@@ -463,6 +482,19 @@ class SimulatedCluster:
             registry.gauge(
                 "cluster:fluid_mass", lambda: self.fluid.total_mass()
             )
+        if self.health is not None:
+            registry.gauge(
+                "cluster:health_ejected",
+                lambda: float(self.health.counts()["ejected"]),
+            )
+            registry.gauge(
+                "cluster:health_trial",
+                lambda: float(self.health.counts()["trial"]),
+            )
+            registry.gauge(
+                "cluster:health_ejections",
+                lambda: float(self.health.ejections),
+            )
 
     # ------------------------------------------------------------------
     # Reporting
@@ -485,4 +517,5 @@ class SimulatedCluster:
                 self.admission.stats() if self.admission is not None else None
             ),
             "fluid": self.fluid.stats() if self.fluid is not None else None,
+            "health": self.health.stats() if self.health is not None else None,
         }

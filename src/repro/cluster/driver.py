@@ -16,6 +16,7 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, List, Optional, Tuple
 
 from ..core.registry import TraceRegistry
+from ..faults import FaultConfig
 from ..hw.accelerator import QueuePolicy
 from ..hw.params import MachineParams
 from ..obs import ObsConfig
@@ -32,6 +33,7 @@ from .admission import AdmissionConfig
 from .autoscaler import AutoscalerConfig
 from .cluster import MachineFailure, RequestStatus, SimulatedCluster
 from .fluid import FluidConfig
+from .health import HealthConfig
 
 __all__ = ["ClusterConfig", "ClusterResult", "run_cluster"]
 
@@ -82,6 +84,12 @@ class ClusterConfig:
     #: Fluid-approximation tier (None = every request simulates
     #: exactly; see :mod:`repro.cluster.fluid`).
     fluid: Optional[FluidConfig] = None
+    #: Per-machine fault injection: every fleet member gets its own
+    #: seeded :class:`~repro.faults.FaultPlane` (None/zero-rate keeps
+    #: the fleet byte-identical to a fault-free run).
+    faults: Optional[FaultConfig] = None
+    #: Machine health scoring + lame-duck ejection (None disables).
+    health: Optional[HealthConfig] = None
 
     def machine_params_for(self, index: int) -> MachineParams:
         params = self.machine_params or MachineParams()
@@ -119,6 +127,8 @@ class ClusterResult:
     offered_rps: Dict[str, float] = dataclass_field(default_factory=dict)
     #: Fluid-tier accounting (``FluidTier.stats()``), None without the tier.
     fluid_stats: Optional[Dict] = None
+    #: Health-plane accounting (``HealthMonitor.stats()``), None without it.
+    health_stats: Optional[Dict] = None
     #: The cluster itself, for white-box tests (not for shard payloads).
     cluster: Optional[SimulatedCluster] = dataclass_field(
         default=None, repr=False, compare=False
@@ -340,5 +350,6 @@ def run_cluster(
             for spec in services
         },
         fluid_stats=stats["fluid"],
+        health_stats=stats["health"],
         cluster=cluster,
     )

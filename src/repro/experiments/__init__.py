@@ -16,9 +16,11 @@ from . import (
     fig18_chiplets,
     fig19_pes,
     fig20_generations,
+    fig_campaign,
     fig_cluster,
     fig_faults,
     fig_fluid,
+    fig_metastable,
     fig_placement,
     sensitivity,
     table1_connectivity,
@@ -46,9 +48,11 @@ EXPERIMENTS = {
     "fig18": fig18_chiplets.run,
     "fig19": fig19_pes.run,
     "fig20": fig20_generations.run,
+    "campaign": fig_campaign.run,
     "fig_cluster": fig_cluster.run,
     "fig_faults": fig_faults.run,
     "fig_fluid": fig_fluid.run,
+    "fig_metastable": fig_metastable.run,
     "fig_placement": fig_placement.run,
     "sens-interchiplet": sensitivity.run_interchiplet,
     "sens-speedups": sensitivity.run_speedups,
@@ -79,9 +83,11 @@ SHARDED = {
     "fig18": fig18_chiplets.SHARDED,
     "fig19": fig19_pes.SHARDED,
     "fig20": fig20_generations.SHARDED,
+    "campaign": fig_campaign.SHARDED,
     "fig_cluster": fig_cluster.SHARDED,
     "fig_faults": fig_faults.SHARDED,
     "fig_fluid": fig_fluid.SHARDED,
+    "fig_metastable": fig_metastable.SHARDED,
     "fig_placement": fig_placement.SHARDED,
     "sens-interchiplet": sensitivity.SHARDED_INTERCHIPLET,
     "sens-speedups": sensitivity.SHARDED_SPEEDUPS,

@@ -20,7 +20,15 @@ byte-identical to the fault-free simulator.
 """
 
 from .config import FaultConfig
+from .gray import GrayFaults
 from .plane import FaultPlane
-from .recovery import CircuitBreaker, RecoveryPolicy
+from .recovery import CircuitBreaker, RecoveryPolicy, RetryBudget
 
-__all__ = ["CircuitBreaker", "FaultConfig", "FaultPlane", "RecoveryPolicy"]
+__all__ = [
+    "CircuitBreaker",
+    "FaultConfig",
+    "FaultPlane",
+    "GrayFaults",
+    "RecoveryPolicy",
+    "RetryBudget",
+]

@@ -68,6 +68,41 @@ class FaultConfig:
     nic_congestion_factor: float = 4.0
     nic_congestion_max: int = 16
 
+    # -- Gray faults (slow-but-alive; see repro.faults.gray) ---------------
+    #: Probability that this *machine* limps: one Bernoulli draw at
+    #: plane attach decides whether every accelerator op on this server
+    #: is inflated by :attr:`gray_limp_factor` for the whole run. In a
+    #: cluster each machine draws from its own derived stream, so a
+    #: fleet at probability p carries ~p limping members.
+    gray_limp_probability: float = 0.0
+    gray_limp_factor: float = 2.0
+    #: Mean gap between per-accelerator-instance slowdown windows
+    #: (0 disables); one randomly chosen instance serves ops
+    #: :attr:`gray_slowdown_factor` slower for :attr:`gray_slowdown_ns`.
+    gray_slowdown_interval_ns: float = 0.0
+    gray_slowdown_ns: float = 1e6
+    gray_slowdown_factor: float = 4.0
+    gray_slowdown_max: int = 16
+    #: Scope slowdowns to one accelerator kind (e.g. ``"TCP"``); the
+    #: empty string means any instance on the machine is eligible.
+    #: Chaos experiments point this at the bottleneck kind so the
+    #: trigger bites at every seed. Validated against the hardware at
+    #: plane attach (kind names are per-architecture).
+    gray_slowdown_kind: str = ""
+    #: Mean gap between congestion ramps on one placement hop
+    #: (0 disables); the hop's crossing-time multiplier staircases from
+    #: 1 up to :attr:`gray_ramp_peak_factor` and back down over
+    #: :attr:`gray_ramp_ns`, in ``2 * gray_ramp_steps`` equal treads.
+    #: Machines with nothing behind the scoped hop are byte-identical.
+    gray_ramp_interval_ns: float = 0.0
+    gray_ramp_ns: float = 2e6
+    gray_ramp_peak_factor: float = 6.0
+    gray_ramp_steps: int = 4
+    gray_ramp_max: int = 8
+    #: Which placement hop the ramps congest ("near_cache", "pcie",
+    #: "nic" or "remote"; validated against the Placement enum).
+    gray_ramp_placement: str = "nic"
+
     # -- ATM faults --------------------------------------------------------
     #: Mean gap between ATM outages (0 disables); reads issued during an
     #: outage wait until the SRAM comes back.
@@ -82,6 +117,17 @@ class FaultConfig:
     manager_outage_interval_ns: float = 0.0
     manager_outage_ns: float = 1e6
     manager_outage_max: int = 16
+
+    # -- Retry budget (adaptive overload control) --------------------------
+    #: Token-bucket retry budget shared by every retry path of one
+    #: orchestrator (step, TCP re-wait, DMA re-issue). 0 disables the
+    #: budget: retries stay unconditionally bounded per attempt, the
+    #: pre-budget behavior. With a budget, each retry draws one token
+    #: and an empty bucket degrades the step immediately — a retry
+    #: storm self-quenches instead of amplifying offered load.
+    retry_budget_tokens: float = 0.0
+    #: Tokens restored per simulated second (sustained retry rate).
+    retry_budget_refill_per_s: float = 0.0
 
     # -- Recovery knobs ----------------------------------------------------
     #: Per-step dispatch watchdog: an accelerator step attempt that has
@@ -121,28 +167,100 @@ class FaultConfig:
             or self.nic_congestion_interval_ns > 0.0
             or self.atm_outage_interval_ns > 0.0
             or self.manager_outage_interval_ns > 0.0
+            or self.gray_enabled
         )
 
+    @property
+    def gray_enabled(self) -> bool:
+        """True when any gray (slow-but-alive) fault source is active."""
+        return (
+            self.gray_limp_probability > 0.0
+            or self.gray_slowdown_interval_ns > 0.0
+            or self.gray_ramp_interval_ns > 0.0
+        )
+
+    #: Every probability knob: must lie in [0, 1].
+    _RATE_FIELDS = (
+        "pe_transient_rate",
+        "pe_wedge_rate",
+        "dma_stall_rate",
+        "dma_corruption_rate",
+        "gray_limp_probability",
+    )
+
+    #: Every duration/interval knob: negative sim-time is always a bug
+    #: (0 means "disabled" for intervals, "free" for durations).
+    _DURATION_FIELDS = (
+        "pe_wedge_ns",
+        "pe_stuck_mtbf_ns",
+        "pe_repair_ns",
+        "dma_stall_ns",
+        "noc_flap_interval_ns",
+        "noc_flap_down_ns",
+        "pcie_flap_interval_ns",
+        "pcie_flap_down_ns",
+        "nic_congestion_interval_ns",
+        "nic_congestion_ns",
+        "gray_slowdown_interval_ns",
+        "gray_slowdown_ns",
+        "gray_ramp_interval_ns",
+        "gray_ramp_ns",
+        "atm_outage_interval_ns",
+        "atm_outage_ns",
+        "manager_outage_interval_ns",
+        "manager_outage_ns",
+        "backoff_base_ns",
+        "breaker_window_ns",
+        "breaker_cooldown_ns",
+    )
+
+    #: Slowdown multipliers: < 1 would model speedups, not faults.
+    _FACTOR_FIELDS = (
+        "noc_degraded_factor",
+        "nic_congestion_factor",
+        "gray_limp_factor",
+        "gray_slowdown_factor",
+        "gray_ramp_peak_factor",
+    )
+
     def validate(self) -> None:
-        for name in (
-            "pe_transient_rate",
-            "pe_wedge_rate",
-            "dma_stall_rate",
-            "dma_corruption_rate",
-        ):
+        for name in self._RATE_FIELDS:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
-        if self.noc_degraded_factor < 1.0:
+        for name in self._DURATION_FIELDS:
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ValueError(
+                    f"{name} must be non-negative (simulated ns), got {value}"
+                )
+        for name in self._FACTOR_FIELDS:
+            value = getattr(self, name)
+            if value < 1.0:
+                raise ValueError(
+                    f"{name} must be >= 1 (a slowdown multiplier), got {value}"
+                )
+        from ..hw.placement import Placement
+
+        hop_scopes = sorted(
+            p.value for p in Placement if p is not Placement.ON_PACKAGE
+        )
+        if self.gray_ramp_placement not in hop_scopes:
             raise ValueError(
-                f"noc_degraded_factor must be >= 1, got {self.noc_degraded_factor}"
+                f"gray_ramp_placement must be a placement hop "
+                f"({', '.join(hop_scopes)}), got {self.gray_ramp_placement!r}; "
+                f"'on_package' has no hop link to congest"
             )
-        if self.nic_congestion_factor < 1.0:
+        if self.gray_ramp_steps < 1:
             raise ValueError(
-                f"nic_congestion_factor must be >= 1, "
-                f"got {self.nic_congestion_factor}"
+                f"gray_ramp_steps must be >= 1, got {self.gray_ramp_steps}"
             )
         if self.step_max_retries < 0 or self.tcp_max_retries < 0:
-            raise ValueError("retry budgets must be non-negative")
+            raise ValueError("retry counts must be non-negative")
+        if self.retry_budget_tokens < 0 or self.retry_budget_refill_per_s < 0:
+            raise ValueError(
+                "retry_budget_tokens and retry_budget_refill_per_s must be "
+                "non-negative (0 disables the budget)"
+            )
         if self.watchdog_timeout_ns <= 0:
             raise ValueError("watchdog_timeout_ns must be positive")

@@ -51,6 +51,13 @@ class FaultPlane:
         self._nic_stream = streams.stream("faults/nic")
         #: Used by the hw-manager orchestrator's outage injector.
         self.manager_stream = streams.stream("faults/manager")
+        #: Gray-fault half (None unless a gray knob is set, so the
+        #: service-time fast path stays a single None check).
+        self.gray = None
+        if config.gray_enabled:
+            from .gray import GrayFaults
+
+            self.gray = GrayFaults(env, config, streams, self)
 
         #: Down inter-chiplet links: (chiplet, chiplet) -> back-up gate.
         self._down_links: Dict[Tuple[int, int], Event] = {}
@@ -109,6 +116,8 @@ class FaultPlane:
                 )
         if config.atm_outage_interval_ns > 0:
             self.env.process(self._atm_outage_injector(), name="fault-atm-outage")
+        if self.gray is not None:
+            self.gray.attach(hardware)
 
     def emit(self, name: str, args: Optional[dict] = None) -> None:
         """Record a fault event: an instant span on the faults track,
@@ -145,6 +154,12 @@ class FaultPlane:
         self.pe_transients += 1
         self.emit("pe-transient", {"accel": accel.kind.value})
         return True
+
+    def service_factor(self, accel) -> float:
+        """Gray service-time multiplier for one op (1.0 = clean)."""
+        if self.gray is None:
+            return 1.0
+        return self.gray.service_factor(accel)
 
     def dma_stall_ns(self) -> float:
         if self.config.dma_stall_rate <= 0.0:
@@ -301,6 +316,10 @@ class FaultPlane:
     # Statistics
     # ------------------------------------------------------------------
     def total_injected(self) -> int:
+        gray = self.gray
+        gray_total = 0 if gray is None else (
+            gray.limps + gray.slowdowns + gray.ramps
+        )
         return (
             self.pe_transients
             + self.pe_wedges
@@ -312,9 +331,11 @@ class FaultPlane:
             + self.nic_congestions
             + self.atm_outages
             + self.manager_outages
+            + gray_total
         )
 
     def stats(self) -> Dict[str, float]:
+        gray = self.gray
         return {
             "pe_transients": float(self.pe_transients),
             "pe_wedges": float(self.pe_wedges),
@@ -326,5 +347,8 @@ class FaultPlane:
             "nic_congestions": float(self.nic_congestions),
             "atm_outages": float(self.atm_outages),
             "manager_outages": float(self.manager_outages),
+            "gray_limps": 0.0 if gray is None else float(gray.limps),
+            "gray_slowdowns": 0.0 if gray is None else float(gray.slowdowns),
+            "gray_ramps": 0.0 if gray is None else float(gray.ramps),
             "total_injected": float(self.total_injected()),
         }

@@ -15,7 +15,69 @@ from typing import Dict, List, Optional
 from ..sim import Environment, Stream
 from .config import FaultConfig
 
-__all__ = ["CircuitBreaker", "RecoveryPolicy"]
+__all__ = ["CircuitBreaker", "RecoveryPolicy", "RetryBudget"]
+
+
+class RetryBudget:
+    """Token bucket bounding the *sustained* retry rate of one service.
+
+    Fixed per-attempt retry counts are the classic metastable-failure
+    ingredient: every timed-out attempt re-offers work to an already
+    saturated accelerator, so amplified load outlives the trigger. A
+    budget caps aggregate retries instead — each retry draws one token,
+    tokens refill at ``retry_budget_refill_per_s`` per simulated second
+    up to the ``retry_budget_tokens`` burst cap, and when the bucket is
+    empty the step degrades to the CPU *immediately* rather than
+    re-queueing. Retry storms therefore self-quench: the budget spends
+    itself against the trigger, and the fleet returns to baseline as
+    soon as the trigger clears.
+
+    A zero-size bucket (the default config) disables the budget —
+    :meth:`allow` always grants, preserving the pre-budget bounded-retry
+    behavior byte for byte.
+    """
+
+    __slots__ = ("capacity", "refill_per_ns", "tokens", "_last_ns",
+                 "granted", "denied")
+
+    def __init__(self, capacity: float, refill_per_s: float):
+        self.capacity = capacity
+        self.refill_per_ns = refill_per_s / 1e9
+        self.tokens = capacity
+        self._last_ns = 0.0
+        self.granted = 0
+        self.denied = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0.0
+
+    def _refill(self, now_ns: float) -> None:
+        elapsed = now_ns - self._last_ns
+        self._last_ns = now_ns
+        if elapsed > 0.0 and self.refill_per_ns > 0.0:
+            self.tokens = min(
+                self.capacity, self.tokens + elapsed * self.refill_per_ns
+            )
+
+    def allow(self, now_ns: float) -> bool:
+        """Draw one token; False means the budget is exhausted."""
+        if not self.enabled:
+            return True
+        self._refill(now_ns)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.granted += 1
+            return True
+        self.denied += 1
+        return False
+
+    def level(self, now_ns: float) -> float:
+        """Current token count (for gauges; refills before reading)."""
+        if not self.enabled:
+            return 0.0
+        self._refill(now_ns)
+        return self.tokens
 
 
 class CircuitBreaker:
@@ -73,6 +135,11 @@ class RecoveryPolicy:
         self.config = config
         self.stream = stream
         self._breakers: Dict[int, CircuitBreaker] = {}
+        #: Shared token bucket for every retry path (step, TCP re-wait,
+        #: DMA re-issue). Zero-capacity (the default) always grants.
+        self.budget = RetryBudget(
+            config.retry_budget_tokens, config.retry_budget_refill_per_s
+        )
         #: Optional :class:`repro.obs.TelemetryBus`; breaker trips and
         #: closes are published as ``RecoveryEvent``s.
         self.bus = None
@@ -84,6 +151,7 @@ class RecoveryPolicy:
         self.degraded_to_cpu = 0
         self.dma_retries = 0
         self.dma_fatal = 0
+        self.budget_denials = 0
 
     # ------------------------------------------------------------------
     # Accelerator health
@@ -136,6 +204,32 @@ class RecoveryPolicy:
         return sum(1 for b in self._breakers.values() if b.is_open)
 
     # ------------------------------------------------------------------
+    # Retry budget
+    # ------------------------------------------------------------------
+    def allow_retry(self, path: str) -> bool:
+        """Draw one retry token for ``path`` (``step``/``tcp``/``dma``).
+
+        Always True when no budget is configured. A denial is counted,
+        published as a ``retry-budget-exhausted`` recovery event, and
+        means the caller must degrade or fail *now* instead of
+        re-offering load.
+        """
+        if self.budget.allow(self.env.now):
+            return True
+        self.budget_denials += 1
+        if self.bus is not None:
+            from ..obs.telemetry import RecoveryEvent
+
+            self.bus.publish(
+                RecoveryEvent(
+                    t_ns=self.env.now,
+                    kind_name="retry-budget-exhausted",
+                    args={"path": path},
+                )
+            )
+        return False
+
+    # ------------------------------------------------------------------
     # Backoff
     # ------------------------------------------------------------------
     def backoff_ns(self, attempt: int) -> float:
@@ -157,4 +251,6 @@ class RecoveryPolicy:
             "degraded_to_cpu": float(self.degraded_to_cpu),
             "dma_retries": float(self.dma_retries),
             "dma_fatal": float(self.dma_fatal),
+            "budget_denials": float(self.budget_denials),
+            "budget_tokens": self.budget.level(self.env.now),
         }

@@ -229,7 +229,16 @@ class Accelerator:
                 wedge_ns = plane.pe_wedge_ns(self)
                 if wedge_ns > 0.0:
                     yield env.timeout(wedge_ns)
-            yield env.timeout(entry.op.accel_time_ns(self.speedup))
+            service_ns = entry.op.accel_time_ns(self.speedup)
+            if plane is not None:
+                # Gray faults stretch service time without erroring: a
+                # limping machine or a slowed instance serves every op,
+                # just slower. 1.0 (the overwhelmingly common case)
+                # leaves the timeout byte-identical.
+                factor = plane.service_factor(self)
+                if factor != 1.0:
+                    service_ns *= factor
+            yield env.timeout(service_ns)
             if plane is not None and plane.pe_transient(self):
                 # Transient fault: the result is corrupt but the entry
                 # still flows through the output queue; the recovery

@@ -32,6 +32,7 @@ __all__ = [
     "AdmissionEvent",
     "AlertFired",
     "FaultInjected",
+    "HealthEvent",
     "Marker",
     "MetricSample",
     "RecoveryEvent",
@@ -138,6 +139,16 @@ class AlertFired(TelemetryEvent):
     state: str
     burn_fast: float = 0.0
     burn_slow: float = 0.0
+    args: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class HealthEvent(TelemetryEvent):
+    """A machine's health state changed (``healthy``/``ejected``/``trial``)."""
+
+    machine: int
+    state: str
+    score: float
     args: Optional[Dict[str, Any]] = None
 
 

@@ -255,7 +255,14 @@ class Orchestrator:
             # The response never arrives: the TCP input-queue entry times
             # out and the core is notified (Section IV-B).
             yield env.timeout(self.costs.tcp_response_timeout_ns)
-            if recovery is None or attempts >= recovery.config.tcp_max_retries:
+            # Re-waiting is a retry: it must clear both the per-attempt
+            # bound and the shared retry budget, else the loss is fatal
+            # now instead of re-offering load to a saturated network.
+            if (
+                recovery is None
+                or attempts >= recovery.config.tcp_max_retries
+                or not recovery.allow_retry("tcp")
+            ):
                 request.timed_out = True
                 request.error = True
                 self.tcp_timeouts += 1
@@ -539,7 +546,12 @@ class Orchestrator:
             if accel is not None:
                 recovery.record_failure(accel)
             attempts += 1
-            if attempts > config.step_max_retries:
+            # Short-circuit order matters: past the per-attempt bound no
+            # token is drawn, so a zero-capacity budget (the default)
+            # leaves this path byte-identical to the pre-budget model.
+            if attempts > config.step_max_retries or not recovery.allow_retry(
+                "step"
+            ):
                 recovery.degraded_to_cpu += 1
                 self.fallbacks += 1
                 request.fell_back = True
@@ -685,7 +697,9 @@ class Orchestrator:
             if ok or recovery is None:
                 return ok
             attempt += 1
-            if attempt > recovery.config.dma_max_retries:
+            if attempt > recovery.config.dma_max_retries or not recovery.allow_retry(
+                "dma"
+            ):
                 recovery.dma_fatal += 1
                 request.error = True
                 return False

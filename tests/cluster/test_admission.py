@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cluster import (
+    PROPORTIONAL,
     AdmissionConfig,
     AdmissionController,
     AdmissionDecision,
@@ -82,6 +83,98 @@ class TestController:
             AdmissionConfig(slo_ns=1.0, mode="explode")
         with pytest.raises(ValueError):
             AdmissionConfig(slo_ns=1.0, degrade_factor=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_ns=1.0, sustain_decisions=0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_ns=1.0, shed_step=0.0)
+        with pytest.raises(ValueError):
+            AdmissionConfig(slo_ns=1.0, max_shed_fraction=1.5)
+
+
+class TestProportionalMode:
+    def _controller(self, **kw):
+        defaults = dict(
+            slo_ns=1000.0,
+            mode=PROPORTIONAL,
+            window=64,
+            min_samples=5,
+            sustain_decisions=4,
+            shed_step=0.25,
+            max_shed_fraction=0.75,
+        )
+        defaults.update(kw)
+        return AdmissionController(AdmissionConfig(**defaults))
+
+    def _breach(self, controller):
+        for _ in range(controller.config.min_samples):
+            controller.observe(5000.0)
+
+    def test_cold_start_admits_and_sheds_nothing(self):
+        controller = self._controller()
+        for _ in range(20):
+            assert controller.decide(make_request()) == AdmissionDecision.ADMIT
+        assert controller.shed_fraction == 0.0
+
+    def test_fraction_ratchets_up_under_sustained_breach(self):
+        controller = self._controller()
+        self._breach(controller)
+        # Each sustain_decisions-long streak steps the fraction by 0.25.
+        for _ in range(4):
+            controller.decide(make_request())
+        assert controller.shed_fraction == 0.25
+        for _ in range(4):
+            controller.decide(make_request())
+        assert controller.shed_fraction == 0.5
+
+    def test_fraction_caps_at_max(self):
+        controller = self._controller()
+        self._breach(controller)
+        for _ in range(100):
+            controller.decide(make_request())
+        assert controller.shed_fraction == 0.75
+        # Some traffic always flows at the cap.
+        assert controller.admitted > 0
+
+    def test_error_diffusion_hits_exact_long_run_proportion(self):
+        controller = self._controller(shed_step=0.25, max_shed_fraction=0.25)
+        self._breach(controller)
+        for _ in range(4):  # ratchet to the 0.25 plateau
+            controller.decide(make_request())
+        shed_before, admitted_before = controller.shed, controller.admitted
+        for _ in range(400):
+            controller.decide(make_request())
+        shed = controller.shed - shed_before
+        assert shed == 100  # exactly a quarter, not statistically close
+
+    def test_fraction_decays_once_breach_clears(self):
+        controller = self._controller()
+        self._breach(controller)
+        for _ in range(8):
+            controller.decide(make_request())
+        assert controller.shed_fraction == 0.5
+        # Window forgets the burst: healthy decisions decay the fraction.
+        for _ in range(controller.config.window):
+            controller.observe(10.0)
+        for _ in range(8):
+            controller.decide(make_request())
+        assert controller.shed_fraction == 0.0
+        assert controller.decide(make_request()) == AdmissionDecision.ADMIT
+
+    def test_deterministic_without_rng(self):
+        def trace():
+            controller = self._controller()
+            self._breach(controller)
+            return [controller.decide(make_request()) for _ in range(64)]
+
+        assert trace() == trace()
+
+    def test_stats_surface_shed_fraction(self):
+        controller = self._controller()
+        assert controller.stats()["shed_fraction"] == 0.0
+        self._breach(controller)
+        for _ in range(4):
+            controller.decide(make_request())
+        assert controller.stats()["shed_fraction"] == 0.25
 
 
 class TestClusterIntegration:

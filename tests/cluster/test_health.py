@@ -1,0 +1,300 @@
+"""HealthMonitor: passive scoring, hysteresis ejection, trials, probes.
+
+Unit tests drive the monitor against a fake cluster so every state
+transition is pinned exactly; the integration tests check the plane
+inside ``run_cluster`` — it ejects a gray-limping machine, and when it
+has nothing to do it is byte-inert (RNG-free observer).
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    HealthConfig,
+    HealthMonitor,
+    HealthState,
+    MachineHealth,
+    run_cluster,
+)
+from repro.faults import FaultConfig
+from repro.sim import Environment
+from repro.workloads import social_network_services
+
+SERVICES = {s.name: s for s in social_network_services()}
+
+
+class FakeMachine:
+    def __init__(self, index, pressure=0.0):
+        self.index = index
+        self.pressure = pressure
+
+    def queue_pressure(self):
+        return self.pressure
+
+
+class FakeCluster:
+    def __init__(self, machines, bus=None):
+        self.env = Environment()
+        self.machines = machines
+        self.bus = bus
+
+    def routable_machines(self):
+        return list(self.machines)
+
+
+CONFIG = HealthConfig(
+    latency_threshold_ns=1000.0,
+    error_threshold=0.5,
+    ewma_alpha=1.0,  # no smoothing: each observation IS the EWMA
+    eject_after=3,
+    readmit_after_ns=1e6,
+    trial_requests=2,
+)
+
+
+def make_monitor(n_machines=3, config=CONFIG, bus=None, pressure=0.0):
+    machines = [FakeMachine(i, pressure) for i in range(n_machines)]
+    cluster = FakeCluster(machines, bus=bus)
+    return HealthMonitor(cluster, config), machines, cluster
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(latency_threshold_ns=0.0),
+            dict(ewma_alpha=0.0),
+            dict(ewma_alpha=1.5),
+            dict(error_threshold=1.5),
+            dict(eject_after=0),
+            dict(trial_requests=0),
+            dict(readmit_after_ns=-1.0),
+            dict(probe_interval_ns=-1.0),
+            dict(probe_max=-1),
+            dict(min_routable=0),
+        ],
+    )
+    def test_rejects_bad_knobs(self, kw):
+        with pytest.raises(ValueError):
+            HealthConfig(**kw)
+
+    def test_defaults_validate(self):
+        HealthConfig()
+
+
+class TestMachineHealth:
+    def test_ewma_folds_latency(self):
+        health = MachineHealth(HealthConfig(ewma_alpha=0.5))
+        health.update(100.0, ok=True)
+        assert health.ewma_latency_ns == 100.0  # first sample seeds
+        health.update(200.0, ok=True)
+        assert health.ewma_latency_ns == 150.0
+
+    def test_unhealthy_on_latency_or_error(self):
+        config = HealthConfig(
+            latency_threshold_ns=1000.0, error_threshold=0.5, ewma_alpha=1.0
+        )
+        slow = MachineHealth(config)
+        slow.update(2000.0, ok=True)
+        assert slow.unhealthy
+        erroring = MachineHealth(config)
+        erroring.update(10.0, ok=False)
+        assert erroring.unhealthy
+
+    def test_score_monotone_in_badness(self):
+        config = HealthConfig(latency_threshold_ns=1000.0, ewma_alpha=1.0)
+        clean = MachineHealth(config)
+        clean.update(500.0, ok=True)
+        assert clean.score == 1.0
+        slow = MachineHealth(config)
+        slow.update(4000.0, ok=True)
+        assert slow.score == 0.25
+        dead = MachineHealth(config)
+        dead.update(4000.0, ok=False)
+        assert dead.score == 0.0
+
+
+class TestEjectionHysteresis:
+    def test_streak_below_threshold_never_ejects(self):
+        monitor, machines, _ = make_monitor()
+        for _ in range(CONFIG.eject_after - 1):
+            monitor.observe(machines[0], 5000.0, ok=True)
+        assert monitor.member(machines[0]).state == HealthState.HEALTHY
+        assert monitor.ejections == 0
+
+    def test_consecutive_unhealthy_signals_eject(self):
+        monitor, machines, _ = make_monitor()
+        for _ in range(CONFIG.eject_after):
+            monitor.observe(machines[0], 5000.0, ok=True)
+        assert monitor.member(machines[0]).state == HealthState.EJECTED
+        assert monitor.ejections == 1
+
+    def test_healthy_signal_resets_the_streak(self):
+        monitor, machines, _ = make_monitor()
+        monitor.observe(machines[0], 5000.0, ok=True)
+        monitor.observe(machines[0], 5000.0, ok=True)
+        monitor.observe(machines[0], 1.0, ok=True)  # EWMA drops below
+        for _ in range(CONFIG.eject_after - 1):
+            monitor.observe(machines[0], 5000.0, ok=True)
+        assert monitor.member(machines[0]).state == HealthState.HEALTHY
+
+    def test_min_routable_floor_blocks_ejection(self):
+        monitor, machines, _ = make_monitor(
+            n_machines=1,
+            config=HealthConfig(
+                latency_threshold_ns=1000.0,
+                ewma_alpha=1.0,
+                eject_after=2,
+                min_routable=1,
+            ),
+        )
+        for _ in range(10):
+            monitor.observe(machines[0], 5000.0, ok=True)
+        assert monitor.member(machines[0]).state == HealthState.HEALTHY
+        assert monitor.ejections == 0
+
+    def test_ejected_machines_take_no_further_signals(self):
+        monitor, machines, _ = make_monitor()
+        for _ in range(CONFIG.eject_after):
+            monitor.observe(machines[0], 5000.0, ok=True)
+        ejections = monitor.ejections
+        monitor.observe(machines[0], 5000.0, ok=True)  # straggler
+        assert monitor.ejections == ejections
+        assert monitor.member(machines[0]).state == HealthState.EJECTED
+
+
+class TestTrialFlow:
+    def _ejected(self):
+        monitor, machines, cluster = make_monitor()
+        for _ in range(CONFIG.eject_after):
+            monitor.observe(machines[0], 5000.0, ok=True)
+        assert monitor.member(machines[0]).state == HealthState.EJECTED
+        return monitor, machines, cluster
+
+    def test_filter_drops_ejected_until_sitout_elapses(self):
+        monitor, machines, cluster = self._ejected()
+        kept = monitor.filter_routable(machines)
+        assert machines[0] not in kept and len(kept) == 2
+
+    def test_sitout_elapsed_transitions_to_trial_lazily(self):
+        monitor, machines, cluster = self._ejected()
+        cluster.env.run(until=CONFIG.readmit_after_ns + 1.0)
+        kept = monitor.filter_routable(machines)
+        assert machines[0] in kept
+        assert monitor.member(machines[0]).state == HealthState.TRIAL
+
+    def test_trial_promotes_after_consecutive_healthy(self):
+        monitor, machines, cluster = self._ejected()
+        cluster.env.run(until=CONFIG.readmit_after_ns + 1.0)
+        monitor.filter_routable(machines)
+        # The ejected-era EWMA is still bad; feed fast completions so
+        # the trial signals read healthy.
+        for _ in range(CONFIG.trial_requests):
+            monitor.observe(machines[0], 1.0, ok=True)
+        assert monitor.member(machines[0]).state == HealthState.HEALTHY
+        assert monitor.readmissions == 1
+
+    def test_one_bad_signal_fails_the_trial(self):
+        monitor, machines, cluster = self._ejected()
+        cluster.env.run(until=CONFIG.readmit_after_ns + 1.0)
+        monitor.filter_routable(machines)
+        monitor.observe(machines[0], 1.0, ok=True)
+        monitor.observe(machines[0], 50000.0, ok=True)  # relapse
+        assert monitor.member(machines[0]).state == HealthState.EJECTED
+        assert monitor.trials_failed == 1
+        assert monitor.ejections == 2
+
+    def test_all_ejected_filter_returns_unfiltered(self):
+        monitor, machines, _ = self._ejected()
+        for machine in machines:
+            monitor.member(machine).state = HealthState.EJECTED
+        assert monitor.filter_routable(machines) == machines
+
+
+class TestProbes:
+    def test_prober_ejects_wedged_machine_passives_never_see(self):
+        config = HealthConfig(
+            latency_threshold_ns=1e9,
+            ewma_alpha=1.0,
+            eject_after=3,
+            probe_interval_ns=100.0,
+            probe_pressure_threshold=10.0,
+            probe_max=8,
+        )
+        monitor, machines, cluster = make_monitor(
+            config=config, pressure=50.0
+        )
+        machines[1].pressure = machines[2].pressure = 0.0
+        cluster.env.run()
+        assert monitor.probes == 8
+        assert monitor.member(machines[0]).state == HealthState.EJECTED
+
+    def test_zero_interval_installs_no_prober(self):
+        monitor, _, cluster = make_monitor()
+        cluster.env.run()
+        assert monitor.probes == 0
+
+    def test_probe_sweeps_are_bounded(self):
+        config = HealthConfig(probe_interval_ns=100.0, probe_max=5)
+        monitor, _, cluster = make_monitor(config=config)
+        cluster.env.run()  # a bare drain must terminate
+        assert monitor.probes == 5
+
+
+class TestStats:
+    def test_counts_and_stats_track_states(self):
+        monitor, machines, _ = make_monitor()
+        for machine in machines:
+            monitor.observe(machine, 1.0, ok=True)
+        for _ in range(CONFIG.eject_after):
+            monitor.observe(machines[0], 50000.0, ok=True)
+        stats = monitor.stats()
+        assert stats["ejections"] == 1
+        assert stats["ejected"] == 1
+        assert monitor.counts()[HealthState.HEALTHY] == 2
+        assert set(stats["scores"]) == {0, 1, 2}
+
+
+class TestClusterIntegration:
+    HEALTH = HealthConfig(
+        latency_threshold_ns=6e5,
+        ewma_alpha=0.3,
+        eject_after=4,
+        readmit_after_ns=2e6,
+        trial_requests=4,
+    )
+
+    def _run(self, health, faults=None, seed=0):
+        config = ClusterConfig(
+            policy="round-robin",
+            machines=3,
+            requests_per_service=120,
+            rate_rps=30000.0,
+            seed=seed,
+            arrival_mode="poisson",
+            warmup_fraction=0.0,
+            health=health,
+            faults=faults,
+        )
+        return run_cluster([SERVICES["StoreP"]], config)
+
+    def test_limping_machine_gets_ejected(self):
+        faults = FaultConfig(
+            gray_limp_probability=0.5, gray_limp_factor=8.0
+        )
+        result = self._run(self.HEALTH, faults=faults)
+        stats = result.health_stats
+        assert stats is not None
+        assert stats["ejections"] > 0
+
+    def test_idle_health_plane_is_byte_inert(self):
+        """With thresholds nothing crosses, installing the monitor must
+        not move one sample relative to health=None (RNG-free)."""
+        never = HealthConfig(latency_threshold_ns=1e12, error_threshold=1.0)
+        with_plane = self._run(never)
+        without = self._run(None)
+        assert (
+            with_plane.recorder.samples == without.recorder.samples
+        )
+        assert with_plane.elapsed_ns == without.elapsed_ns
+        assert with_plane.health_stats["ejections"] == 0

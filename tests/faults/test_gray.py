@@ -1,0 +1,249 @@
+"""Gray faults: slow-but-alive categories of the fault plane.
+
+Pins the three gray categories (machine limp, instance slowdowns,
+congestion ramps) against the plane's core contracts: zero-rate knobs
+are byte-identical to the fault-free simulator, active knobs only ever
+*slow* work (nothing errors), scoping is honoured (kind filters,
+placement hops), and seeded runs reproduce exactly. ``CHAOS_SEED``
+rotates the seed in CI (see the chaos job).
+"""
+
+import os
+from typing import List
+
+import pytest
+
+from repro.faults import FaultConfig
+from repro.hw import MachineParams
+from repro.server import SimulatedServer
+from repro.sim import LatencyRecorder
+from repro.workloads import social_network_services
+from repro.workloads.arrivals import make_arrivals
+
+SERVICE = "StoreP"
+RATE_RPS = 2000.0
+N_REQUESTS = 40
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+LIMP = FaultConfig(gray_limp_probability=1.0, gray_limp_factor=3.0)
+SLOWDOWN = FaultConfig(
+    gray_slowdown_interval_ns=1e6,
+    gray_slowdown_ns=2e6,
+    gray_slowdown_factor=8.0,
+    gray_slowdown_max=16,
+)
+RAMP = FaultConfig(
+    gray_ramp_interval_ns=2e6,
+    gray_ramp_ns=4e6,
+    gray_ramp_peak_factor=8.0,
+    gray_ramp_steps=4,
+    gray_ramp_max=8,
+    gray_ramp_placement="nic",
+)
+
+
+def _measure(faults, seed=SEED, placement=None, **server_kw):
+    """One seeded open-loop run; returns (samples, mean, server)."""
+    spec = [s for s in social_network_services() if s.name == SERVICE][0]
+    params = (
+        MachineParams().with_placement(placement) if placement else None
+    )
+    server = SimulatedServer(
+        "accelflow",
+        machine_params=params,
+        seed=seed,
+        faults=faults,
+        **server_kw,
+    )
+    env = server.env
+    arrivals = make_arrivals(
+        "poisson", RATE_RPS, server.streams.stream(f"arrivals/{spec.name}")
+    )
+    in_flight: List = []
+
+    def source(env):
+        for _ in range(N_REQUESTS):
+            yield env.timeout(arrivals.next_gap_ns())
+            request = server.make_request(spec)
+            in_flight.append((request, server.submit(request)))
+
+    src = env.process(source(env))
+
+    def watch(env):
+        yield src
+        yield env.all_of([process for _, process in in_flight])
+
+    env.run(until=env.process(watch(env)))
+    assert all(r.completed for r, _ in in_flight)
+    assert not any(r.error for r, _ in in_flight), "gray faults never error"
+    recorder = LatencyRecorder(warmup_fraction=0.0)
+    for request, _ in in_flight:
+        recorder.record(request.latency_ns)
+    return tuple(recorder.samples), recorder.mean(), server
+
+
+class TestZeroRateIdentity:
+    def test_gray_knobs_at_zero_install_nothing(self):
+        config = FaultConfig()
+        assert not config.gray_enabled
+        assert not config.enabled
+
+    def test_gray_half_absent_when_only_failstop_enabled(self):
+        """A fail-stop-only config must not construct GrayFaults (no
+        streams, no branches, byte-for-byte legacy behavior)."""
+        _, _, server = _measure(FaultConfig(pe_transient_rate=0.05))
+        assert server.fault_plane is not None
+        assert server.fault_plane.gray is None
+
+    def test_failstop_run_identical_with_and_without_gray_fields(self):
+        """The gray *fields* existing on the config (at zero) must not
+        move one sample of a fail-stop run."""
+        base = FaultConfig(pe_transient_rate=0.1, dma_stall_rate=0.05)
+        a, _, _ = _measure(base)
+        b, _, _ = _measure(
+            FaultConfig(
+                pe_transient_rate=0.1,
+                dma_stall_rate=0.05,
+                gray_limp_factor=9.0,  # factor without a trigger: inert
+                gray_slowdown_factor=9.0,
+            )
+        )
+        assert a == b
+
+
+class TestMachineLimp:
+    def test_certain_limp_inflates_every_request(self):
+        clean, clean_mean, _ = _measure(None)
+        limped, limp_mean, server = _measure(LIMP)
+        gray = server.fault_plane.gray
+        assert gray is not None and gray.limping
+        assert gray.limps == 1
+        assert limp_mean > clean_mean
+        # Every accelerator op slowed: each sample strictly grows.
+        assert all(l > c for l, c in zip(limped, clean))
+
+    def test_zero_probability_never_limps(self):
+        clean, _, _ = _measure(None)
+        config = FaultConfig(
+            gray_limp_probability=0.0,
+            # Another gray trigger keeps the plane+GrayFaults installed
+            # but its injector draws from its own stream: the limp draw
+            # must simply never happen at probability 0.
+            gray_slowdown_interval_ns=1e9,
+            gray_slowdown_max=1,
+        )
+        _, _, server = _measure(config)
+        assert server.fault_plane.gray.limping is False
+        assert server.fault_plane.gray.limps == 0
+
+
+class TestInstanceSlowdown:
+    def test_slowdown_windows_inflate_latency(self):
+        _, clean_mean, _ = _measure(None)
+        _, slow_mean, server = _measure(SLOWDOWN)
+        gray = server.fault_plane.gray
+        assert gray.slowdowns > 0
+        assert slow_mean > clean_mean
+
+    def test_windows_close_after_drain(self):
+        _, _, server = _measure(SLOWDOWN)
+        server.env.run()  # let remaining injector windows expire
+        assert not server.fault_plane.gray._slow
+
+    def test_kind_scoping_only_slows_that_kind(self):
+        """Scoped to one kind, every opened window targets that kind —
+        checked through the telemetry events the plane publishes."""
+        from repro.obs import ObsConfig
+        from repro.obs.telemetry import FaultInjected
+
+        scoped = FaultConfig(
+            gray_slowdown_interval_ns=1e6,
+            gray_slowdown_ns=2e6,
+            gray_slowdown_factor=8.0,
+            gray_slowdown_max=16,
+            gray_slowdown_kind="TCP",
+        )
+        obs = ObsConfig(telemetry=True)
+        _, _, server = _measure(scoped, obs=obs)
+        events = [
+            event
+            for event in obs.bus.recent()
+            if isinstance(event, FaultInjected)
+            and event.category == "gray-slowdown"
+        ]
+        assert server.fault_plane.gray.slowdowns > 0
+        assert events, "no slowdown events reached the bus"
+        assert all(e.args["accel"] == "TCP" for e in events)
+
+    def test_unknown_kind_rejected_at_attach(self):
+        config = FaultConfig(
+            gray_slowdown_interval_ns=1e6, gray_slowdown_kind="Warp"
+        )
+        with pytest.raises(ValueError, match="gray_slowdown_kind"):
+            SimulatedServer("accelflow", seed=SEED, faults=config)
+
+
+class TestCongestionRamp:
+    def test_ramp_inflates_the_scoped_hop(self):
+        clean, clean_mean, _ = _measure(None, placement="nic")
+        ramped, ramp_mean, server = _measure(RAMP, placement="nic")
+        gray = server.fault_plane.gray
+        assert gray.ramps > 0
+        assert ramped != clean
+        assert ramp_mean > clean_mean
+
+    def test_ramp_noop_without_fabric(self):
+        """All-on-package machine: no placement fabric, so the ramp
+        injector never even starts — byte-identical samples."""
+        clean, _, _ = _measure(None)
+        samples, _, server = _measure(RAMP)
+        assert server.fault_plane is not None
+        assert server.fault_plane.gray.ramps == 0
+        assert samples == clean
+
+    def test_ramp_leaves_other_hops_byte_identical(self):
+        """A NIC-scoped ramp must not slow a PCIe-placed machine."""
+        clean, _, _ = _measure(None, placement="pcie")
+        samples, _, server = _measure(RAMP, placement="pcie")
+        assert server.fault_plane.gray.ramps > 0  # injector runs
+        assert samples == clean
+
+    def test_factors_reset_after_drain(self):
+        _, _, server = _measure(RAMP, placement="nic")
+        server.env.run()
+        assert all(
+            factor == 1.0
+            for factor in server.fault_plane._placement_factors.values()
+        )
+
+
+class TestStatsAndDeterminism:
+    def test_gray_counters_surface_in_plane_stats(self):
+        _, _, server = _measure(SLOWDOWN)
+        gray = server.fault_plane.gray
+        stats = server.fault_plane.stats()
+        assert stats["gray_slowdowns"] == float(gray.slowdowns)
+        assert stats["gray_limps"] == float(gray.limps)
+        assert stats["gray_ramps"] == float(gray.ramps)
+        assert stats["total_injected"] >= stats["gray_slowdowns"]
+
+    def test_service_factor_composes_limp_and_slowdown(self):
+        _, _, server = _measure(LIMP)
+        gray = server.fault_plane.gray
+        accel = server.hardware.all_accelerators()[0]
+        assert gray.service_factor(accel) == LIMP.gray_limp_factor
+        gray._slow[id(accel)] = 4.0
+        assert gray.service_factor(accel) == LIMP.gray_limp_factor * 4.0
+        del gray._slow[id(accel)]
+
+    @pytest.mark.parametrize("config", [LIMP, SLOWDOWN], ids=["limp", "slow"])
+    def test_seeded_runs_reproduce(self, config):
+        a = _measure(config)
+        b = _measure(config)
+        assert a[0] == b[0]
+        assert a[2].fault_plane.stats() == b[2].fault_plane.stats()
+
+    def test_ramp_seeded_runs_reproduce(self):
+        a = _measure(RAMP, placement="nic")
+        b = _measure(RAMP, placement="nic")
+        assert a[0] == b[0]

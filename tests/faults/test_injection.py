@@ -230,6 +230,17 @@ class TestDeterminism:
         atm_outage_interval_ns=2e5,
         watchdog_timeout_ns=2e5,
         backoff_base_ns=100.0,
+        # Gray categories ride in the same mix: their injectors draw
+        # from their own named streams, so adding them must not detune
+        # the fail-stop draws — and the whole mix stays reproducible.
+        gray_limp_probability=0.5,
+        gray_limp_factor=2.0,
+        gray_slowdown_interval_ns=5e5,
+        gray_slowdown_ns=3e5,
+        gray_slowdown_factor=3.0,
+        gray_slowdown_max=8,
+        retry_budget_tokens=64.0,
+        retry_budget_refill_per_s=1000.0,
     )
 
     def _run(self, seed):

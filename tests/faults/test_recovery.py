@@ -1,6 +1,7 @@
-"""CircuitBreaker and RecoveryPolicy unit behavior."""
+"""CircuitBreaker, RetryBudget, and RecoveryPolicy unit behavior."""
 
 from repro.faults import CircuitBreaker, FaultConfig, RecoveryPolicy
+from repro.faults.recovery import RetryBudget
 from repro.sim import Environment, RandomStreams
 
 CONFIG = FaultConfig(
@@ -62,6 +63,90 @@ class TestCircuitBreaker:
         assert breaker.record_failure(trial_time)  # re-trip
         assert not breaker.allow(trial_time + 1e6)
         assert breaker.allow(trial_time + 6e6)
+
+
+class TestRetryBudget:
+    def test_zero_capacity_always_grants_without_counting(self):
+        """The default (disabled) bucket is byte-inert: every draw is
+        granted and neither counter moves."""
+        budget = RetryBudget(0.0, 0.0)
+        assert not budget.enabled
+        for t in (0.0, 1.0, 1e9):
+            assert budget.allow(t)
+        assert budget.granted == 0
+        assert budget.denied == 0
+        assert budget.level(1e9) == 0.0
+
+    def test_tokens_drain_one_per_grant(self):
+        budget = RetryBudget(3.0, 0.0)
+        assert budget.enabled
+        assert budget.allow(0.0)
+        assert budget.allow(0.0)
+        assert budget.allow(0.0)
+        assert not budget.allow(0.0)  # bucket empty, no refill
+        assert budget.granted == 3
+        assert budget.denied == 1
+
+    def test_lazy_refill_restores_tokens_at_configured_rate(self):
+        # 2 tokens/s = 2e-9 tokens/ns: half a simulated second after
+        # draining, exactly one token is back.
+        budget = RetryBudget(2.0, 2.0)
+        assert budget.allow(0.0) and budget.allow(0.0)
+        assert not budget.allow(0.0)
+        assert not budget.allow(0.25e9)  # 0.5 tokens: still short
+        assert budget.allow(0.5e9 + 1.0)  # >= 1 token again
+        assert budget.denied == 2
+
+    def test_refill_clamps_at_burst_capacity(self):
+        budget = RetryBudget(2.0, 1000.0)
+        budget.allow(0.0)
+        assert budget.level(1e12) == 2.0  # eons later: capped, not 1e6
+
+    def test_level_reads_through_refill(self):
+        budget = RetryBudget(4.0, 1.0)
+        budget.allow(0.0)
+        assert budget.level(0.0) == 3.0
+        assert budget.level(1e9) == 4.0
+
+
+class TestPolicyBudgetIntegration:
+    def test_allow_retry_counts_denials(self):
+        config = FaultConfig(
+            retry_budget_tokens=2.0, retry_budget_refill_per_s=0.0
+        )
+        policy = _policy(config)
+        assert policy.allow_retry("step")
+        assert policy.allow_retry("dma")
+        assert not policy.allow_retry("step")
+        assert not policy.allow_retry("tcp")
+        assert policy.budget_denials == 2
+        assert policy.stats()["budget_denials"] == 2.0
+        assert policy.stats()["budget_tokens"] == 0.0
+
+    def test_unconfigured_budget_never_denies(self):
+        policy = _policy(FaultConfig())
+        for _ in range(100):
+            assert policy.allow_retry("step")
+        assert policy.budget_denials == 0
+
+    def test_denial_publishes_recovery_event(self):
+        from repro.obs.telemetry import RecoveryEvent, TelemetryBus
+
+        config = FaultConfig(
+            retry_budget_tokens=1.0, retry_budget_refill_per_s=0.0
+        )
+        policy = _policy(config)
+        policy.bus = TelemetryBus()
+        assert policy.allow_retry("step")
+        assert not policy.allow_retry("step")
+        events = [
+            e
+            for e in policy.bus.recent()
+            if isinstance(e, RecoveryEvent)
+            and e.kind_name == "retry-budget-exhausted"
+        ]
+        assert len(events) == 1
+        assert events[0].args["path"] == "step"
 
 
 class TestRecoveryPolicy:
@@ -129,5 +214,7 @@ class TestRecoveryPolicy:
             "degraded_to_cpu",
             "dma_retries",
             "dma_fatal",
+            "budget_denials",
+            "budget_tokens",
         }
         assert all(value == 0.0 for value in stats.values())

@@ -1,0 +1,145 @@
+"""Recovery x placement interaction contracts.
+
+Two cross-cutting invariants that neither the recovery tests nor the
+placement tests pin on their own:
+
+* a circuit breaker opening on a ``pcie``-placed accelerator must not
+  let the orchestrator route the same kind's work around the hop — the
+  placement is physical, so recovery can wait, retry, or degrade to
+  the CPU, but it can never conjure an on-package instance of a kind
+  that lives on the card;
+* a watchdog timeout during a NIC congestion window is a *recovered*
+  event, not a fatal one — congestion stretches crossings past the
+  watchdog, the attempt is abandoned and retried (or degraded), and
+  the request still completes without error.
+
+``CHAOS_SEED`` rotates the seed in CI.
+"""
+
+import os
+from typing import List
+
+from repro.faults import FaultConfig
+from repro.hw import MachineParams
+from repro.hw.placement import Placement
+from repro.server import SimulatedServer
+from repro.workloads import social_network_services
+from repro.workloads.arrivals import make_arrivals
+
+SERVICE = "StoreP"
+RATE_RPS = 2000.0
+N_REQUESTS = 40
+SEED = int(os.environ.get("CHAOS_SEED", "0"))
+
+
+def _run(placement_overrides, faults, seed=SEED, default="on_package"):
+    spec = [s for s in social_network_services() if s.name == SERVICE][0]
+    server = SimulatedServer(
+        "accelflow",
+        machine_params=MachineParams().with_placement(
+            default, placement_overrides
+        ),
+        seed=seed,
+        faults=faults,
+    )
+    env = server.env
+    arrivals = make_arrivals(
+        "poisson", RATE_RPS, server.streams.stream(f"arrivals/{spec.name}")
+    )
+    in_flight: List = []
+
+    def source(env):
+        for _ in range(N_REQUESTS):
+            yield env.timeout(arrivals.next_gap_ns())
+            request = server.make_request(spec)
+            in_flight.append((request, server.submit(request)))
+
+    src = env.process(source(env))
+
+    def watch(env):
+        yield src
+        yield env.all_of([process for _, process in in_flight])
+
+    env.run(until=env.process(watch(env)))
+    return [r for r, _ in in_flight], server
+
+
+class TestBreakerRespectsPlacement:
+    #: Transients at a rate that trips hair-trigger breakers while
+    #: still letting plenty of ops through (at rate 1.0 every breaker
+    #: opens before a single transfer lands, which would vacuously
+    #: pass the hop assertions below).
+    FAULTS = FaultConfig(
+        pe_transient_rate=0.3,
+        backoff_base_ns=100.0,
+        breaker_failure_threshold=2,
+        breaker_cooldown_ns=5e6,
+    )
+
+    def test_tripped_pcie_breaker_does_not_route_on_package(self):
+        """With TCP behind PCIe and its breakers tripped, every TCP op
+        that still runs keeps paying the PCIe hop: the hop-crossing
+        count keeps growing, and no accelerator of the kind appears
+        on-package. Recovery degrades to the CPU instead of teleporting
+        the accelerator."""
+        requests, server = _run({"tcp": "pcie"}, self.FAULTS)
+        recovery = server.orchestrator.recovery
+        assert recovery.breaker_trips > 0
+        assert all(r.completed for r in requests)
+        # The physical contract: the fabric still owns every crossing.
+        fabric = server.hardware.fabric
+        assert fabric is not None
+        assert fabric.hop_transfers[Placement.PCIE] > 0
+        # Exhausted retries degrade to the CPU (the only legal escape).
+        assert recovery.degraded_to_cpu > 0 or recovery.step_retries > 0
+
+    def test_breaker_routing_stays_within_kind(self):
+        """The pick() candidate set never crosses kinds: with every TCP
+        instance tripped open, pick() returns None for TCP rather than
+        an instance of another kind."""
+        _, server = _run({"tcp": "pcie"}, self.FAULTS)
+        recovery = server.orchestrator.recovery
+        env_now = server.env.now
+        from repro.hw.params import AcceleratorKind
+
+        tcp_instances = server.hardware.instances[AcceleratorKind.TCP]
+        for accel in tcp_instances:
+            recovery.breaker(accel).opened_at = env_now  # force open
+        picked = recovery.pick(tcp_instances, env_now)
+        assert picked is None  # never an on-package substitute
+
+
+class TestWatchdogDuringNicCongestion:
+    #: Recurring NIC congestion windows (50x crossings). The hop itself
+    #: sits between watchdogged steps, so congestion surfaces as queue
+    #: pile-up that stretches the next step past a tight watchdog.
+    CONGESTION = dict(
+        nic_congestion_interval_ns=2e6,
+        nic_congestion_ns=3e6,
+        nic_congestion_factor=50.0,
+        nic_congestion_max=16,
+        backoff_base_ns=100.0,
+    )
+
+    def test_timeouts_recover_instead_of_failing(self):
+        """Tight watchdog + active congestion regime: attempts time out
+        repeatedly, and every one is recovered — retried on another
+        instance or degraded to the CPU — never surfaced as an error."""
+        faults = FaultConfig(watchdog_timeout_ns=5e4, **self.CONGESTION)
+        requests, server = _run({}, faults, default="nic")
+        recovery = server.orchestrator.recovery
+        assert server.fault_plane.nic_congestions > 0
+        assert recovery.watchdog_timeouts > 0
+        assert recovery.step_retries + recovery.degraded_to_cpu > 0
+        assert all(r.completed for r in requests)
+        assert not any(r.error for r in requests)
+
+    def test_generous_watchdog_never_fires_under_same_congestion(self):
+        """A/B leg: double the watchdog under the identical congestion
+        regime and nothing times out — the timeouts above were watchdog
+        pressure, not fatal hardware state."""
+        faults = FaultConfig(watchdog_timeout_ns=1e5, **self.CONGESTION)
+        requests, server = _run({}, faults, default="nic")
+        assert server.fault_plane.nic_congestions > 0
+        assert server.orchestrator.recovery.watchdog_timeouts == 0
+        assert not any(r.error for r in requests)

@@ -11,7 +11,13 @@ on/off and the fluid tier, so a refactor that sneaks in an unseeded
 
 import pytest
 
-from repro.cluster import ClusterConfig, FluidConfig, MachineFailure, run_cluster
+from repro.cluster import (
+    ClusterConfig,
+    FluidConfig,
+    HealthConfig,
+    MachineFailure,
+    run_cluster,
+)
 from repro.faults import FaultConfig
 from repro.hw import MachineParams
 from repro.obs import ObsConfig
@@ -96,6 +102,27 @@ SERVER_CONFIGS = {
             pcie_flap_interval_ns=3e6, pcie_flap_down_ns=5e5, pcie_flap_max=64
         ),
     ),
+    "gray-faults": dict(
+        arrival_mode="poisson",
+        rate_rps=20000.0,
+        machine_params=MachineParams().with_placement(
+            "on_package", {"tcp": "nic"}
+        ),
+        faults=FaultConfig(
+            gray_limp_probability=0.5,
+            gray_limp_factor=2.0,
+            gray_slowdown_interval_ns=2e6,
+            gray_slowdown_ns=1e6,
+            gray_slowdown_factor=4.0,
+            gray_slowdown_max=8,
+            gray_ramp_interval_ns=3e6,
+            gray_ramp_ns=2e6,
+            gray_ramp_peak_factor=5.0,
+            gray_ramp_steps=4,
+            gray_ramp_max=4,
+            gray_ramp_placement="nic",
+        ),
+    ),
 }
 
 
@@ -163,6 +190,20 @@ CLUSTER_CONFIGS = {
             batched=True,
         ),
         machines=3,
+    ),
+    "health-plane": dict(
+        machines=3,
+        health=HealthConfig(
+            latency_threshold_ns=5e5,
+            eject_after=4,
+            readmit_after_ns=2e6,
+            trial_requests=4,
+            probe_interval_ns=1e6,
+            probe_max=64,
+        ),
+        faults=FaultConfig(
+            gray_limp_probability=0.6, gray_limp_factor=3.0
+        ),
     ),
 }
 
