@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Talk to the simulated fleet like a service: the serving façade.
+
+Batch experiments fold a whole run and report afterwards; this example
+drives the *same* cluster interactively instead:
+
+1. Build a 2-machine AccelFlow fleet with the telemetry plane on and
+   wrap it in a :class:`repro.serve.ServiceFacade`.
+2. ``await facade.submit(...)`` a few requests and inspect each
+   :class:`repro.serve.Response` — latency, shed/degraded flags.
+3. Overload the front door so admission control starts shedding, and
+   watch the outcomes change.
+4. Fold everything into the standard scorecard.
+
+Run: ``python examples/live_service.py``. By default the clock is
+unpaced (``dilation=inf``), so the example is deterministic; pass
+``--dilation 0.01`` to watch it run at 1/100th wall speed. For
+open-loop wall-clock load with the live dashboard, see
+``python -m repro.serve.soak``.
+"""
+
+import argparse
+import asyncio
+
+from repro.cluster import AdmissionConfig, ClusterConfig
+from repro.obs import ObsConfig
+from repro.serve import ServiceFacade, SimClock, build_scorecard
+from repro.workloads import social_network_services
+
+
+async def main(dilation: float) -> None:
+    services = [
+        s for s in social_network_services() if s.name in ("UniqId", "CPost")
+    ]
+    config = ClusterConfig(
+        machines=2,
+        seed=7,
+        admission=AdmissionConfig(slo_ns=2e6, mode="shed", min_samples=10),
+        obs=ObsConfig(telemetry=True),
+    )
+    facade = ServiceFacade.build(services, config)
+    facade.clock = SimClock(facade.env, dilation=dilation)
+
+    print("One request at a time:")
+    for _ in range(3):
+        response = await facade.submit("UniqId")
+        print(
+            f"  {response.service}: {response.status}, "
+            f"{response.latency_ns / 1e3:.1f} us"
+        )
+
+    print("\nNow three bursts of 150 concurrent CPost requests each;")
+    print("after the first, admission control has seen the overload:")
+    for wave in range(3):
+        futures = [facade.submit_nowait("CPost") for _ in range(150)]
+        await facade.drain(drain_ns=1e9)
+        responses = [f.result() for f in futures]
+        shed = sum(1 for r in responses if r.status == "shed")
+        print(
+            f"  wave {wave + 1}: {len(responses) - shed} served, "
+            f"{shed} shed at the front door"
+        )
+
+    scorecard = build_scorecard(facade.responses, elapsed_ns=facade.env.now)
+    print()
+    print(scorecard["table"])
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dilation",
+        type=float,
+        default=float("inf"),
+        help="sim seconds per wall second (inf = unpaced, deterministic)",
+    )
+    args = parser.parse_args()
+    asyncio.run(main(args.dilation))

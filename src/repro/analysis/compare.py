@@ -43,8 +43,18 @@ class ComparisonResult:
         return self.results[candidate].mean_latency_ns()
 
     def p99_speedup(self, candidate: str) -> float:
-        """Baseline P99 / candidate P99 (>1 means candidate is better)."""
-        return self.p99_ns(self.baseline) / self.p99_ns(candidate)
+        """Baseline P99 / candidate P99 (>1 means candidate is better).
+
+        A zero candidate P99 (every request completed in literally zero
+        time — degenerate configs with free orchestration and no queue
+        can produce this) yields ``inf`` rather than raising; 0/0 yields
+        ``nan``. :meth:`table` renders both as explicit markers.
+        """
+        baseline = self.p99_ns(self.baseline)
+        candidate_p99 = self.p99_ns(candidate)
+        if candidate_p99 == 0.0:
+            return float("nan") if baseline == 0.0 else float("inf")
+        return baseline / candidate_p99
 
     def winner(self) -> str:
         """Candidate with the lowest mean P99."""
@@ -55,9 +65,15 @@ class ComparisonResult:
         lines = [header, "-" * len(header)]
         for name in self.candidates:
             speedup = self.p99_speedup(name)
+            if speedup != speedup:  # nan: both P99s are zero
+                cell = f"{'n/a':>14s}"
+            elif speedup == float("inf"):
+                cell = f"{'inf':>13s}x"
+            else:
+                cell = f"{speedup:>13.2f}x"
             lines.append(
                 f"{name:<20s}{self.mean_ns(name) / 1000:>12.1f}"
-                f"{self.p99_ns(name) / 1000:>12.1f}{speedup:>13.2f}x"
+                f"{self.p99_ns(name) / 1000:>12.1f}{cell}"
             )
         chart = bar_chart(
             {name: self.p99_ns(name) / 1000 for name in self.candidates},

@@ -28,7 +28,7 @@ from .balancer import (
     make_balancer,
 )
 from .cluster import MachineFailure, RequestStatus, SimulatedCluster
-from .driver import ClusterConfig, ClusterResult, run_cluster
+from .driver import ClusterConfig, ClusterResult, fold_cluster_result, run_cluster
 from .fluid import FLUID_TOLERANCES, FluidConfig, FluidTier
 from .health import HealthConfig, HealthMonitor, HealthState, MachineHealth
 from .machine import ClusterMachine, MachineState
@@ -61,6 +61,7 @@ __all__ = [
     "RequestStatus",
     "RoundRobinBalancer",
     "SimulatedCluster",
+    "fold_cluster_result",
     "make_balancer",
     "run_cluster",
 ]

@@ -334,6 +334,11 @@ class SimulatedCluster:
         return entries
 
     def _lifecycle(self, request: Request):
+        # The id the request arrived with: reroute clones get fresh ids
+        # for machine-level accounting, but every front-door terminal
+        # event reports under the original so awaiting callers (the
+        # serving façade) can match it.
+        front_rid = request.rid
         if self.admission is not None:
             decision = self.admission.decide(request)
             if decision == AdmissionDecision.SHED:
@@ -348,6 +353,7 @@ class SimulatedCluster:
                             t_ns=self.env.now,
                             service=request.spec.name,
                             decision="shed",
+                            rid=front_rid,
                         )
                     )
                     self.bus.publish(
@@ -357,6 +363,7 @@ class SimulatedCluster:
                             latency_ns=0.0,
                             ok=False,
                             status=RequestStatus.SHED,
+                            rid=front_rid,
                         )
                     )
                 return (RequestStatus.SHED, request)
@@ -368,13 +375,14 @@ class SimulatedCluster:
                             t_ns=self.env.now,
                             service=request.spec.name,
                             decision="degrade",
+                            rid=front_rid,
                         )
                     )
         attempts = 0
         while True:
             machines = self.routable_machines()
             if not machines:
-                return self._give_up(request)
+                return self._give_up(request, front_rid)
             if self.health is not None:
                 # Lame ducks leave the *candidate set*, not the fleet:
                 # the autoscaler and capacity accounting still see them.
@@ -394,7 +402,7 @@ class SimulatedCluster:
                 attempts += 1
                 self.rerouted += 1
                 if attempts > self.config.max_reroutes:
-                    return self._give_up(request)
+                    return self._give_up(request, front_rid)
                 request = self._clone_for_retry(request)
                 continue
             self.completed += 1
@@ -418,11 +426,12 @@ class SimulatedCluster:
                         error=request.error,
                         timed_out=request.timed_out,
                         fell_back=request.fell_back,
+                        rid=front_rid,
                     )
                 )
             return (RequestStatus.OK, request)
 
-    def _give_up(self, request: Request):
+    def _give_up(self, request: Request, front_rid: Optional[int] = None):
         """Terminate a request that cannot be (re)placed: hard error."""
         request.error = True
         request.timed_out = True
@@ -438,6 +447,7 @@ class SimulatedCluster:
                     error=True,
                     timed_out=True,
                     status=RequestStatus.LOST,
+                    rid=front_rid if front_rid is not None else request.rid,
                 )
             )
         return (RequestStatus.LOST, request)

@@ -35,7 +35,12 @@ from .cluster import MachineFailure, RequestStatus, SimulatedCluster
 from .fluid import FluidConfig
 from .health import HealthConfig
 
-__all__ = ["ClusterConfig", "ClusterResult", "run_cluster"]
+__all__ = [
+    "ClusterConfig",
+    "ClusterResult",
+    "fold_cluster_result",
+    "run_cluster",
+]
 
 _SECOND_NS = 1e9
 
@@ -297,7 +302,26 @@ def run_cluster(
 
     watcher = env.process(_watch_completion(env))
     env.run(until=env.any_of([watcher, env.timeout(horizon_ns)]))
+    return fold_cluster_result(cluster, services, config, sink)
 
+
+def fold_cluster_result(
+    cluster: SimulatedCluster,
+    services: List[ServiceSpec],
+    config: ClusterConfig,
+    sink: List,
+) -> ClusterResult:
+    """Fold a driven cluster and its lifecycle sink into a result.
+
+    The sink holds ``(service, arrival_ns, process)`` triples, one per
+    front-door submission. This is the shared back half of
+    :func:`run_cluster`, split out so incremental drivers — the live
+    serving façade (:mod:`repro.serve`) paces the same cluster against
+    wall-clock time — can produce the identical :class:`ClusterResult`
+    from a sink they accumulated themselves. Processes still pending
+    when this is called are recorded as censored.
+    """
+    env = cluster.env
     results = {
         spec.name: ServiceResult(spec.name, warmup_fraction=config.warmup_fraction)
         for spec in services

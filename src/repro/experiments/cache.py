@@ -19,9 +19,14 @@ import hashlib
 import os
 import pickle
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
-__all__ = ["CacheStats", "ResultCache", "code_fingerprint"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "code_fingerprint",
+    "fingerprint_manifest",
+]
 
 #: Default cache directory, relative to the current working directory.
 DEFAULT_CACHE_DIR = ".accelflow_cache"
@@ -29,32 +34,55 @@ DEFAULT_CACHE_DIR = ".accelflow_cache"
 _FINGERPRINT_CACHE: dict = {}
 
 
-def code_fingerprint() -> str:
-    """SHA-256 over every ``repro`` source file (hex digest).
-
-    Computed once per process; any edit to the simulator, workloads or
-    experiment harness changes the fingerprint and thereby invalidates
-    every cached shard.
-    """
-    cached = _FINGERPRINT_CACHE.get("value")
-    if cached is not None:
-        return cached
+def _package_root() -> str:
     import repro
 
-    root = os.path.dirname(os.path.abspath(repro.__file__))
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def fingerprint_manifest(root: Optional[str] = None) -> List[str]:
+    """The relative paths :func:`code_fingerprint` hashes, sorted.
+
+    Every ``.py`` file under ``root`` (default: the installed ``repro``
+    package) is covered — new modules are picked up automatically, so
+    the fingerprint never silently lags behind the package layout. The
+    manifest exists so tests can assert exactly that.
+    """
+    if root is None:
+        root = _package_root()
+    paths: List[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        # Prune in place *before* descent. (A previous version wrapped
+        # os.walk in sorted(), which materialized the whole walk first
+        # and made this assignment a dead letter.)
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in filenames:
+            if filename.endswith(".py"):
+                paths.append(
+                    os.path.relpath(os.path.join(dirpath, filename), root)
+                )
+    return sorted(paths)
+
+
+def code_fingerprint(root: Optional[str] = None) -> str:
+    """SHA-256 over every ``repro`` source file (hex digest).
+
+    Computed once per process per root; any edit to the simulator,
+    workloads or experiment harness changes the fingerprint and thereby
+    invalidates every cached shard. ``root`` overrides the hashed tree
+    (tests fingerprint a scratch directory instead of the live package).
+    """
+    cached = _FINGERPRINT_CACHE.get(root)
+    if cached is not None:
+        return cached
+    base = root if root is not None else _package_root()
     digest = hashlib.sha256()
-    for dirpath, dirnames, filenames in sorted(os.walk(root)):
-        dirnames.sort()
-        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, filename)
-            digest.update(os.path.relpath(path, root).encode())
-            with open(path, "rb") as handle:
-                digest.update(handle.read())
+    for relpath in fingerprint_manifest(base):
+        digest.update(relpath.encode())
+        with open(os.path.join(base, relpath), "rb") as handle:
+            digest.update(handle.read())
     value = digest.hexdigest()
-    _FINGERPRINT_CACHE["value"] = value
+    _FINGERPRINT_CACHE[root] = value
     return value
 
 

@@ -78,6 +78,15 @@ def pick_service(services: Sequence, name: str):
 
 def _cell(value: object) -> str:
     if isinstance(value, float):
+        # Non-finite values get explicit markers instead of riding the
+        # numeric format paths ("nan" formatted as ",.0f" is confusing
+        # next to real numbers).
+        if value != value:
+            return "-"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
         if value == 0:
             return "0"
         if abs(value) >= 1000:

@@ -43,6 +43,7 @@ from .span import Span, SpanTracer
 from .telemetry import (
     AdmissionEvent,
     AlertFired,
+    AwaitableTail,
     FaultInjected,
     Marker,
     MetricSample,
@@ -71,6 +72,7 @@ __all__ = [
     "Alert",
     "AlertFired",
     "AlertState",
+    "AwaitableTail",
     "Dashboard",
     "FaultInjected",
     "FlightRecorder",

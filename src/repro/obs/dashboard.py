@@ -384,7 +384,10 @@ def run_demo_cluster(
             rate_rps=rate_rps,
         ),
     )
-    slo_ns = 5.0 * clean.mean_ns()
+    # Same guard as run_demo_server: a calibration run that completed
+    # nothing (idle fleet, zero routable machines) falls back to a fixed
+    # SLO instead of raising from the empty latency recorder.
+    slo_ns = 5.0 * clean.mean_ns() if len(clean.recorder) else 1e6
 
     fail_at_ns = 0.35 * requests / rate_rps * 1e9
     obs = ObsConfig(

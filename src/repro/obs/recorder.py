@@ -116,7 +116,11 @@ class FlightRecorder:
         self.suppressed = 0
         self.incidents_dropped = 0
         self.open_breakers = 0
-        self._last_trigger_ns: Optional[float] = None
+        #: Last capture time *per trigger kind* (alert-firing,
+        #: breaker-open, watchdog-timeout). A shared window would let a
+        #: storm of one kind suppress the first capture of another —
+        #: exactly the bundle an incident review needs.
+        self._last_trigger_ns: Dict[str, float] = {}
         #: alert/trip name -> fault category -> count, aggregated over
         #: every capture (the fault→breach correlation table).
         self.correlation: Dict[str, Dict[str, int]] = {}
@@ -139,13 +143,11 @@ class FlightRecorder:
         self.triggered += 1
         breach = self._breach_name(reason, event)
         self._correlate(breach, event.t_ns)
-        if (
-            self._last_trigger_ns is not None
-            and event.t_ns - self._last_trigger_ns < self.cooldown_ns
-        ):
+        last = self._last_trigger_ns.get(reason)
+        if last is not None and event.t_ns - last < self.cooldown_ns:
             self.suppressed += 1
             return
-        self._last_trigger_ns = event.t_ns
+        self._last_trigger_ns[reason] = event.t_ns
         self.incidents.append(self.capture(reason, event))
         if len(self.incidents) > self.max_incidents:
             self.incidents.pop(0)

@@ -1,0 +1,230 @@
+"""Wall-clock soak runs against the live serving façade.
+
+``python -m repro.serve.soak`` sustains open-loop load on a simulated
+fleet for N *wall-clock* seconds — arrivals paced by the
+:class:`~repro.serve.SimClock` at a finite dilation — with the live
+:class:`~repro.obs.dashboard.Dashboard` attached to the same telemetry
+bus the façade matches responses on. When the timer expires the run
+drains, pending requests are censored, and a final scorecard (achieved
+RPS, P99, availability, alert count) is emitted in the same
+:func:`~repro.experiments.common.format_table` style as
+``fig_campaign``.
+
+Unlike replay, a soak is inherently wall-clocked: how much simulated
+time fits into the run depends on the host. The *sim-side* behaviour at
+any given arrival sequence is still exact — pacing only decides when
+the kernel is stepped, never how.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, TextIO
+
+from ..obs.dashboard import Dashboard
+from ..workloads.arrivals import make_arrivals
+from ..workloads.spec import ServiceSpec
+from .facade import ServiceFacade, build_scorecard
+from .replay import _parse_dilation, build_serving_stack, pick_services
+
+__all__ = ["SoakConfig", "main", "run_soak"]
+
+
+@dataclass
+class SoakConfig:
+    """Shape of one soak run."""
+
+    #: Wall-clock duration of the injection phase.
+    wall_seconds: float = 5.0
+    #: Sim seconds per wall second (must be finite: a soak is paced).
+    dilation: float = 50.0
+    #: Wall seconds between live dashboard refreshes (0 disables).
+    refresh_wall_s: float = 0.5
+    #: Arrival model (poisson / alibaba / azure / mmpp).
+    mode: str = "poisson"
+    #: Per-service RPS override (None: each spec's own rate).
+    rate_rps: Optional[float] = None
+    #: Sim time allowed for the post-injection drain.
+    drain_ns: float = 100e6
+    #: Redraw in place with ANSI escapes instead of appending blocks.
+    live: bool = False
+
+
+async def _inject(
+    facade: ServiceFacade,
+    spec: ServiceSpec,
+    config: SoakConfig,
+    stop: asyncio.Event,
+) -> int:
+    """Open-loop arrivals for one service until ``stop`` is set."""
+    arrivals = make_arrivals(
+        config.mode,
+        config.rate_rps if config.rate_rps is not None else spec.rate_rps,
+        facade.cluster.streams.stream(f"serve-arrivals/{spec.name}"),
+    )
+    injected = 0
+    next_ns = facade.env.now
+    while not stop.is_set():
+        next_ns += arrivals.next_gap_ns()
+        await facade.clock.advance_to(next_ns)
+        if stop.is_set():
+            break
+        facade.submit_nowait(spec.name)
+        injected += 1
+    return injected
+
+
+async def _refresh(
+    dashboard: Dashboard,
+    config: SoakConfig,
+    stop: asyncio.Event,
+    out: TextIO,
+) -> None:
+    while not stop.is_set():
+        try:
+            await asyncio.wait_for(stop.wait(), timeout=config.refresh_wall_s)
+        except asyncio.TimeoutError:
+            pass
+        if config.live:
+            dashboard.render_live(out)
+        else:
+            out.write(dashboard.snapshot() + "\n\n")
+            out.flush()
+
+
+async def run_soak(
+    services: Sequence[ServiceSpec],
+    facade: ServiceFacade,
+    config: Optional[SoakConfig] = None,
+    out: Optional[TextIO] = None,
+) -> Dict[str, object]:
+    """Drive ``facade`` under open-loop load for a wall-clock window.
+
+    Returns the final scorecard dict (see
+    :func:`~repro.serve.build_scorecard`), extended with the clock's
+    pacing statistics under ``"pacing"`` and the live dashboard's final
+    snapshot under ``"dashboard"``.
+    """
+    config = config or SoakConfig()
+    out = out or sys.stdout
+    if not facade.clock.paced:
+        raise ValueError(
+            "a soak run needs a finite dilation (the wall clock is the "
+            "stop condition); use repro.serve.replay for unpaced runs"
+        )
+    obs = facade.cluster.config.obs
+    dashboard = Dashboard(
+        facade.cluster.bus, slo=obs.slo if obs is not None else None
+    )
+    stop = asyncio.Event()
+    tasks: List[asyncio.Task] = [
+        asyncio.ensure_future(_inject(facade, spec, config, stop))
+        for spec in services
+    ]
+    if config.refresh_wall_s > 0:
+        tasks.append(
+            asyncio.ensure_future(_refresh(dashboard, config, stop, out))
+        )
+    await asyncio.sleep(config.wall_seconds)
+    stop.set()
+    for task in tasks:
+        task.cancel()
+    await asyncio.gather(*tasks, return_exceptions=True)
+    await facade.drain(drain_ns=config.drain_ns)
+
+    monitor = obs.slo_monitor if obs is not None else None
+    if monitor is not None:
+        monitor.sweep(facade.env.now)
+    alerts = len(monitor.fired_ever()) if monitor is not None else 0
+    scorecard = build_scorecard(
+        facade.responses,
+        elapsed_ns=facade.env.now,
+        alerts_fired=alerts,
+        title="Soak scorecard",
+    )
+    scorecard["pacing"] = facade.clock.stats()
+    scorecard["dashboard"] = dashboard.snapshot()
+    return scorecard
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.soak",
+        description="Sustain wall-clock load on the simulated fleet with "
+        "the live dashboard attached.",
+    )
+    parser.add_argument("--seconds", type=float, default=5.0,
+                        help="wall-clock soak duration (default 5)")
+    parser.add_argument(
+        "--dilation",
+        type=_parse_dilation,
+        default=50.0,
+        help="sim seconds per wall second (finite; default 50)",
+    )
+    parser.add_argument("--services", default=None,
+                        help="comma list of SocialNetwork services")
+    parser.add_argument("--machines", type=int, default=2)
+    parser.add_argument("--policy", default="round-robin")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--mode",
+        default="poisson",
+        choices=["poisson", "alibaba", "azure", "mmpp"],
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=1000.0,
+        help="per-service RPS (default 1000; pass 0 for each spec's "
+        "own — much heavier — rate)",
+    )
+    parser.add_argument("--drain-ms", type=float, default=100.0,
+                        help="sim milliseconds allowed for the final drain")
+    parser.add_argument(
+        "--admission",
+        default=None,
+        choices=["shed", "degrade", "proportional"],
+    )
+    parser.add_argument("--slo-ms", type=float, default=2.0)
+    parser.add_argument("--refresh", type=float, default=0.5,
+                        help="dashboard refresh period, wall seconds")
+    parser.add_argument("--live", action="store_true",
+                        help="redraw the dashboard in place (ANSI)")
+    args = parser.parse_args(argv)
+
+    services = pick_services(args.services)
+    facade = build_serving_stack(
+        services,
+        machines=args.machines,
+        policy=args.policy,
+        seed=args.seed,
+        dilation=args.dilation,
+        admission=args.admission,
+        slo_ms=args.slo_ms,
+    )
+    config = SoakConfig(
+        wall_seconds=args.seconds,
+        dilation=args.dilation,
+        refresh_wall_s=args.refresh,
+        mode=args.mode,
+        rate_rps=args.rate if args.rate > 0 else None,
+        drain_ns=args.drain_ms * 1e6,
+        live=args.live,
+    )
+    scorecard = asyncio.run(run_soak(services, facade, config))
+    print(scorecard["table"])
+    pacing = scorecard["pacing"]
+    print(
+        f"\nPacing: dilation {pacing['dilation']:g}x, "
+        f"wall {pacing['wall_elapsed_s']:.2f} s for "
+        f"{pacing['sim_elapsed_ns'] / 1e6:.2f} ms sim, "
+        f"max lag {pacing['max_lag_ns'] / 1e6:.2f} ms sim"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -709,6 +709,50 @@ class Environment:
             )
         return None
 
+    def run_wall_slice(
+        self,
+        until: float,
+        wall_budget_s: Optional[float] = None,
+        check_every: int = 256,
+    ) -> bool:
+        """Advance toward sim time ``until``, bounded by wall-clock time.
+
+        Processes scheduled events whose time is <= ``until``; when
+        ``wall_budget_s`` is given, stops early once that much wall time
+        has elapsed (checked every ``check_every`` events, so the
+        overhead stays amortized). Returns True when the clock reached
+        ``until`` (the clock is then advanced to exactly ``until``, as
+        :meth:`run` would), False when the slice ran out of wall budget
+        with events still pending.
+
+        This is the incremental entry point the live-serving façade
+        paces against wall time (:mod:`repro.serve`): a backlogged sim
+        never wedges the asyncio event loop, because each slice hands
+        control back after its budget regardless of how many events
+        remain. With ``wall_budget_s=None`` it behaves exactly like
+        ``run(until=...)`` for a plain time horizon.
+        """
+        until = float(until)
+        if until < self._now:
+            raise ValueError(
+                f"until ({until}) must not be before now ({self._now})"
+            )
+        queue = self._queue
+        deadline = (
+            perf_counter() + wall_budget_s if wall_budget_s is not None else None
+        )
+        processed = 0
+        while queue and queue[0][0] <= until:
+            self.step()
+            if deadline is not None:
+                processed += 1
+                if processed % check_every == 0 and perf_counter() > deadline:
+                    if not (queue and queue[0][0] <= until):
+                        break
+                    return False
+        self._now = until
+        return True
+
     def _stop_on(self, event: Event) -> None:
         value = event._value
         if type(value) is _Failure:

@@ -112,3 +112,62 @@ class TestCompareConfigs:
             compare_configs(
                 SERVICES, [Candidate("x", quick_config())], baseline="ghost"
             )
+
+
+# ----------------------------------------------------------------------
+# Degenerate P99s (regression: division by a zero candidate P99)
+# ----------------------------------------------------------------------
+class _StubResult:
+    """Minimal stand-in for ExperimentResult in speedup arithmetic."""
+
+    def __init__(self, p99_ns, mean_ns=100.0):
+        self._p99_ns = p99_ns
+        self._mean_ns = mean_ns
+
+    def mean_p99_ns(self):
+        return self._p99_ns
+
+    def mean_latency_ns(self):
+        return self._mean_ns
+
+
+def _stub_comparison(baseline_p99, candidate_p99):
+    from repro.analysis.compare import ComparisonResult
+
+    return ComparisonResult(
+        candidates=["base", "cand"],
+        results={
+            "base": _StubResult(baseline_p99),
+            "cand": _StubResult(candidate_p99),
+        },
+        baseline="base",
+    )
+
+
+class TestZeroP99Guard:
+    def test_zero_candidate_p99_yields_inf_not_raise(self):
+        comparison = _stub_comparison(5000.0, 0.0)
+        assert comparison.p99_speedup("cand") == float("inf")
+        assert comparison.p99_speedup("base") == pytest.approx(1.0)
+
+    def test_zero_everywhere_yields_nan(self):
+        comparison = _stub_comparison(0.0, 0.0)
+        speedup = comparison.p99_speedup("cand")
+        assert speedup != speedup  # nan
+
+    def test_table_marks_non_finite_speedups(self):
+        table = _stub_comparison(5000.0, 0.0).table()
+        cand_row = next(
+            line for line in table.splitlines() if line.startswith("cand")
+        )
+        assert "infx" in cand_row.replace(" ", "")
+        table = _stub_comparison(0.0, 0.0).table()
+        cand_row = next(
+            line for line in table.splitlines() if line.startswith("cand")
+        )
+        assert "n/a" in cand_row
+
+    def test_normal_speedups_unchanged(self):
+        comparison = _stub_comparison(4000.0, 2000.0)
+        assert comparison.p99_speedup("cand") == pytest.approx(2.0)
+        assert "2.00x" in comparison.table()

@@ -98,6 +98,32 @@ def test_cooldown_suppresses_capture_but_still_counts_trigger():
     assert "slo-burn:other" in recorder.correlation
 
 
+def test_cooldown_is_per_trigger_kind():
+    # Regression: the cooldown used to be one shared window, so an
+    # alert storm would suppress the first capture of an unrelated
+    # breaker trip (and vice versa). Distinct trigger kinds must each
+    # get their own cooldown window.
+    bus, recorder = _recorder(cooldown_ns=100.0)
+    bus.publish(_firing(0.0))
+    bus.publish(RecoveryEvent(t_ns=10.0, kind_name="breaker-open"))
+    bus.publish(RecoveryEvent(t_ns=20.0, kind_name="watchdog-timeout"))
+    # All three kinds captured despite landing inside one another's
+    # windows.
+    assert [b["reason"] for b in recorder.incidents] == [
+        "alert-firing", "breaker-open", "watchdog-timeout",
+    ]
+    assert recorder.suppressed == 0
+    # Repeats of the same kind inside its own window still suppress...
+    bus.publish(RecoveryEvent(t_ns=30.0, kind_name="breaker-open"))
+    bus.publish(_firing(40.0))
+    assert recorder.suppressed == 2
+    assert len(recorder.incidents) == 3
+    # ...and fire again once that kind's window has passed.
+    bus.publish(RecoveryEvent(t_ns=150.0, kind_name="breaker-open"))
+    assert len(recorder.incidents) == 4
+    assert recorder.incidents[-1]["reason"] == "breaker-open"
+
+
 def test_incident_list_is_bounded():
     bus, recorder = _recorder(max_incidents=2)
     for t in range(4):

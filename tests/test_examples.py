@@ -66,11 +66,20 @@ def test_live_dashboard_example(tmp_path):
     assert all(e["ph"] in ("M", "X", "i") for e in bundle["trace"]["traceEvents"])
 
 
+def test_live_service_example():
+    out = run_example("live_service.py")
+    assert "One request at a time:" in out
+    assert "UniqId: ok" in out
+    assert "shed at the front door" in out
+    assert "Serving scorecard" in out
+    assert "Achieved RPS" in out
+
+
 @pytest.mark.parametrize("name", ["quickstart.py", "compile_traces.py",
                                   "custom_service.py", "serverless_burst.py",
                                   "compare_orchestrators.py",
                                   "design_space.py", "trace_export.py",
-                                  "live_dashboard.py"])
+                                  "live_dashboard.py", "live_service.py"])
 def test_examples_exist_and_have_docstrings(name):
     path = EXAMPLES / name
     assert path.exists()
